@@ -1,0 +1,141 @@
+// Command advclassify is the stand-alone adversary: it trains the paper's
+// Bayes classifier from per-class PIAT training traces and classifies
+// evaluation traces, reporting the detection rate and confusion matrix.
+//
+// Usage:
+//
+//	advclassify -train low-train.piat,high-train.piat \
+//	            -eval  low-eval.piat,high-eval.piat \
+//	            -feature entropy -window 1000
+//
+// Training and evaluation traces are given in class order; evaluation
+// trace i is assumed to carry class i's traffic (its windows' true labels).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"linkpad/internal/adversary"
+	"linkpad/internal/analytic"
+	"linkpad/internal/bayes"
+	"linkpad/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "advclassify:", err)
+		os.Exit(1)
+	}
+}
+
+// sliceSource replays a PIAT slice, erroring out via panic-free saturation
+// at the end (callers size their reads to the data).
+type sliceSource struct {
+	xs []float64
+	i  int
+}
+
+func (s *sliceSource) Next() float64 {
+	if s.i >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	x := s.xs[s.i]
+	s.i++
+	return x
+}
+
+func parseFeature(name string) (analytic.Feature, error) {
+	switch name {
+	case "mean":
+		return analytic.FeatureMean, nil
+	case "variance":
+		return analytic.FeatureVariance, nil
+	case "entropy":
+		return analytic.FeatureEntropy, nil
+	default:
+		return 0, fmt.Errorf("unknown feature %q (mean, variance, entropy)", name)
+	}
+}
+
+func run() error {
+	var (
+		trainArg = flag.String("train", "", "comma-separated training traces, one per class")
+		evalArg  = flag.String("eval", "", "comma-separated evaluation traces, one per class")
+		featArg  = flag.String("feature", "entropy", "feature statistic: mean, variance or entropy")
+		window   = flag.Int("window", 1000, "sample size n (PIATs per classified window)")
+		binWidth = flag.Float64("binwidth", 0, "entropy histogram bin width in seconds (0 = default 2us)")
+	)
+	flag.Parse()
+
+	if *trainArg == "" || *evalArg == "" {
+		return fmt.Errorf("need -train and -eval")
+	}
+	feature, err := parseFeature(*featArg)
+	if err != nil {
+		return err
+	}
+	trainPaths := strings.Split(*trainArg, ",")
+	evalPaths := strings.Split(*evalArg, ",")
+	if len(trainPaths) < 2 {
+		return fmt.Errorf("need at least two training traces (one per class)")
+	}
+	if len(evalPaths) != len(trainPaths) {
+		return fmt.Errorf("need one evaluation trace per class (%d != %d)", len(evalPaths), len(trainPaths))
+	}
+
+	labels := make([]string, len(trainPaths))
+	sources := make([]adversary.PIATSource, len(trainPaths))
+	minWindows := int(^uint(0) >> 1)
+	for i, p := range trainPaths {
+		meta, piats, err := trace.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("training trace %s: %w", p, err)
+		}
+		labels[i] = meta["class"]
+		if labels[i] == "" {
+			labels[i] = fmt.Sprintf("class%d", i)
+		}
+		sources[i] = &sliceSource{xs: piats}
+		if w := len(piats) / *window; w < minWindows {
+			minWindows = w
+		}
+	}
+	if minWindows < 2 {
+		return fmt.Errorf("training traces too short for window size %d", *window)
+	}
+
+	att, err := adversary.Train(adversary.TrainConfig{
+		Extractor:       adversary.Extractor{Feature: feature, EntropyBinWidth: *binWidth},
+		WindowSize:      *window,
+		WindowsPerClass: minWindows,
+	}, labels, sources)
+	if err != nil {
+		return err
+	}
+
+	cm := bayes.NewConfusion(labels)
+	for class, p := range evalPaths {
+		_, piats, err := trace.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("evaluation trace %s: %w", p, err)
+		}
+		src := &sliceSource{xs: piats}
+		windows := len(piats) / *window
+		if windows == 0 {
+			return fmt.Errorf("evaluation trace %s shorter than one window", p)
+		}
+		for w := 0; w < windows; w++ {
+			pred, err := att.ClassifyNext(src)
+			if err != nil {
+				return err
+			}
+			cm.Add(class, pred)
+		}
+	}
+	fmt.Printf("feature: %s  window: %d  training windows/class: %d\n", feature, *window, minWindows)
+	fmt.Println(cm.String())
+	return nil
+}

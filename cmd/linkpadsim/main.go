@@ -1,0 +1,99 @@
+// Command linkpadsim regenerates the paper's evaluation tables and
+// figures from the simulated link-padding system.
+//
+// Usage:
+//
+//	linkpadsim -list
+//	linkpadsim -exp fig4b [-scale 1.0] [-seed 1] [-format text|csv]
+//	linkpadsim -exp all -o results/
+//
+// Each experiment prints the series the corresponding paper figure plots;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"linkpad/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "linkpadsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID  = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		scale  = flag.Float64("scale", 1.0, "Monte Carlo effort multiplier")
+		seed   = flag.Uint64("seed", 1, "master random seed")
+		format = flag.String("format", "text", "output format: text or csv")
+		outDir = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.Names() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *expID == "" {
+		return fmt.Errorf("missing -exp (try -list)")
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = experiment.Names()
+	}
+	opts := experiment.Options{Scale: *scale, Seed: *seed}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiment.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		out := os.Stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			ext := map[string]string{"text": "txt", "csv": "csv"}[*format]
+			f, err := os.Create(filepath.Join(*outDir, id+"."+ext))
+			if err != nil {
+				return err
+			}
+			out = f
+		}
+		var werr error
+		if *format == "csv" {
+			werr = tbl.WriteCSV(out)
+		} else {
+			werr = tbl.WriteText(out)
+		}
+		if out != os.Stdout {
+			if cerr := out.Close(); werr == nil {
+				werr = cerr
+			}
+			fmt.Fprintf(os.Stderr, "%s: done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Println()
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}

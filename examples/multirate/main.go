@@ -1,0 +1,45 @@
+// Multi-rate classification: the paper's §6 extension. Instead of two
+// payload rates the adversary distinguishes four, training one feature
+// density per rate — "our technique can be easily extended to multiple
+// ones by performing more off-line training". The confusion matrix shows
+// where neighbouring rates blur.
+//
+// Run with: go run ./examples/multirate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	cfg := linkpad.DefaultLabConfig()
+	cfg.Rates = []linkpad.Rate{
+		{Label: "10pps", PPS: 10},
+		{Label: "20pps", PPS: 20},
+		{Label: "40pps", PPS: 40},
+		{Label: "80pps", PPS: 80},
+	}
+	sys, err := linkpad.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunAttack(linkpad.AttackConfig{
+		Feature:      linkpad.FeatureEntropy,
+		WindowSize:   1000,
+		TrainWindows: 150,
+		EvalWindows:  150,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Four payload rates, CIT padding, entropy feature, n = 1000")
+	fmt.Println()
+	fmt.Println(res.Confusion.String())
+	fmt.Println()
+	fmt.Printf("guessing bound for m=4 classes: 0.25; measured: %.3f\n", res.DetectionRate)
+	fmt.Println("Higher rates perturb the padding timer more, so adjacent high rates")
+	fmt.Println("separate more cleanly than adjacent low rates.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: build the paper's laboratory system, attack it with the
+// three feature statistics, and compare the measured detection rates
+// against the closed-form theorems.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	// The paper's §5 baseline: CIT padding every 10 ms, payload at
+	// 10 pps or 40 pps with equal priors, adversary tapping the sender
+	// gateway's output (the defender's worst case).
+	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CIT link padding, tap at the sender gateway, sample size n = 1000")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %12s %10s\n", "feature", "measured", "theorem", "r")
+	for _, f := range []linkpad.Feature{
+		linkpad.FeatureMean, linkpad.FeatureVariance, linkpad.FeatureEntropy,
+	} {
+		res, err := sys.RunAttack(linkpad.AttackConfig{
+			Feature:    f,
+			WindowSize: 1000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %10.3f\n",
+			f, res.DetectionRate, res.TheoryDetectionRate, res.EmpiricalR)
+	}
+
+	// The bandwidth price of padding: dummy fraction per class.
+	fmt.Println()
+	for class, label := range sys.Labels() {
+		overhead, err := sys.PaddingOverhead(class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("padding overhead at %s payload: %.0f%% dummies\n", label, overhead*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Conclusion (paper Fig. 4b): against CIT padding the variance and")
+	fmt.Println("entropy features identify the payload rate almost surely at n=1000,")
+	fmt.Println("while the sample mean stays near guessing.")
+}

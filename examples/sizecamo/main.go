@@ -1,0 +1,67 @@
+// Size camouflage: the paper assumes all packets have a constant size
+// (§3.2 remark 3), deferring variable sizes to its companion work [7].
+// This example shows why the assumption is load-bearing: with raw packet
+// sizes on the wire, an adversary identifies the application (interactive
+// SSH-like vs bulk FTP-like) from a hundred packets; constant-size
+// padding buys exact size secrecy at a quantified byte cost, and bucket
+// padding sits uncomfortably in between.
+//
+// Run with: go run ./examples/sizecamo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	labels := []string{"interactive", "bulk"}
+	interactive, err := linkpad.NewSizeProfile(
+		[]int{64, 128, 256, 576, 1500},
+		[]float64{0.55, 0.25, 0.10, 0.07, 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bulk, err := linkpad.NewSizeProfile(
+		[]int{64, 576, 1500},
+		[]float64{0.30, 0.05, 0.65})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := []*linkpad.SizeProfile{interactive, bulk}
+
+	constant, err := linkpad.NewConstantSizePad(1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bucket, err := linkpad.NewBucketSizePad([]int{128, 576, 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := linkpad.SizeAttackConfig{
+		WindowSize:   100,
+		TrainWindows: 200,
+		EvalWindows:  200,
+		Seed:         7,
+	}
+	fmt.Println("Identifying the application from 100 observed wire sizes:")
+	fmt.Println()
+	fmt.Printf("%-18s %10s %22s %16s\n", "padding", "detection", "overhead(interactive)", "overhead(bulk)")
+	for _, padder := range []linkpad.SizePadder{linkpad.NoSizePad(), bucket, constant} {
+		res, err := linkpad.DetectBySize(labels, profiles, padder, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10.3f %22.2f %16.2f\n",
+			padder.Name(), res.DetectionRate,
+			linkpad.SizeOverhead(interactive, padder),
+			linkpad.SizeOverhead(bulk, padder))
+	}
+	fmt.Println()
+	fmt.Println("Constant-size padding reduces the adversary to guessing (0.5),")
+	fmt.Println("at ~8.4x bytes for the interactive profile — the price of making")
+	fmt.Println("the main paper's constant-size assumption true.")
+}

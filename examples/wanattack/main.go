@@ -1,0 +1,63 @@
+// WAN attack: reproduces the paper's §5.3 wide-area result end to end.
+// The padded stream crosses 15 routers with diurnally varying crossover
+// traffic (Ohio State → Texas A&M in the paper); the adversary taps just
+// in front of the receiver gateway. Daytime congestion masks the leak,
+// but at 2 AM the network is quiet and CIT padding is again detectable —
+// the paper's argument that CIT is unsafe even against a remote adversary.
+//
+// Run with: go run ./examples/wanattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+	"linkpad/internal/traffic"
+)
+
+func wanConfig(startHour float64, seed uint64) linkpad.Config {
+	cfg := linkpad.DefaultLabConfig()
+	cfg.StartHour = startHour
+	cfg.Seed = seed
+	for i := 0; i < 15; i++ {
+		cfg.Hops = append(cfg.Hops, linkpad.HopSpec{
+			CapacityBps: 622e6, // OC-12 backbone links
+			PacketBytes: 1500,
+			Util:        traffic.Diurnal{Trough: 0.05, Peak: 0.30, TroughHour: 3},
+			PropDelay:   2e-3,
+		})
+	}
+	return cfg
+}
+
+func main() {
+	fmt.Println("CIT padding across a 15-router WAN; adversary at the receiver side")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %10s %10s\n", "time of day", "mean", "variance", "entropy")
+	for _, hour := range []float64{2, 8, 14, 20} {
+		sys, err := linkpad.NewSystem(wanConfig(hour, 42))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.0f:00", hour)
+		for _, f := range []linkpad.Feature{
+			linkpad.FeatureMean, linkpad.FeatureVariance, linkpad.FeatureEntropy,
+		} {
+			res, err := sys.RunAttack(linkpad.AttackConfig{
+				Feature:      f,
+				WindowSize:   1000,
+				TrainWindows: 150,
+				EvalWindows:  150,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.3f", res.DetectionRate)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Expected shape (paper Fig. 8b): entropy/variance detection well above")
+	fmt.Println("guessing at 2:00 (quiet network) and depressed toward 0.5 mid-day.")
+}

@@ -1,0 +1,248 @@
+// Package adversary implements the paper's attacker (§3.3): a passive
+// observer who taps the padded stream, collects samples of n packet
+// inter-arrival times, reduces each sample to one feature statistic
+// (sample mean, sample variance, or sample entropy), trains per-class
+// feature densities off-line with Gaussian KDE, and classifies run-time
+// samples with the Bayes rule. Detection rates are estimated by Monte
+// Carlo over fresh evaluation windows.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"linkpad/internal/analytic"
+	"linkpad/internal/bayes"
+	"linkpad/internal/stats"
+)
+
+// PIATSource yields successive packet inter-arrival times of the padded
+// stream as seen at the adversary's tap.
+type PIATSource interface {
+	Next() float64
+}
+
+// DefaultEntropyBinWidth is the constant histogram bin width (paper
+// eq. 25 requires a constant Δh) used by the sample-entropy feature:
+// 2 µs resolves the µs-scale class peaks of the calibrated gateway.
+const DefaultEntropyBinWidth = 2e-6
+
+// Extractor reduces a PIAT window to one feature statistic.
+type Extractor struct {
+	// Feature selects the statistic.
+	Feature analytic.Feature
+	// EntropyBinWidth is the constant bin width for the entropy feature;
+	// zero selects DefaultEntropyBinWidth.
+	EntropyBinWidth float64
+}
+
+// binWidth returns the effective entropy bin width.
+func (e Extractor) binWidth() float64 {
+	if e.EntropyBinWidth > 0 {
+		return e.EntropyBinWidth
+	}
+	return DefaultEntropyBinWidth
+}
+
+// Extract computes the feature statistic of one window.
+func (e Extractor) Extract(window []float64) (float64, error) {
+	if len(window) < 2 {
+		return 0, errors.New("adversary: window must hold at least two PIATs")
+	}
+	switch e.Feature {
+	case analytic.FeatureMean:
+		return stats.Mean(window), nil
+	case analytic.FeatureVariance:
+		return stats.Variance(window), nil
+	case analytic.FeatureEntropy:
+		return stats.Entropy(window, e.binWidth())
+	case analytic.FeatureIQR:
+		q1, err := stats.Quantile(window, 0.25)
+		if err != nil {
+			return 0, err
+		}
+		q3, err := stats.Quantile(window, 0.75)
+		if err != nil {
+			return 0, err
+		}
+		return q3 - q1, nil
+	default:
+		return 0, fmt.Errorf("adversary: unknown feature %v", e.Feature)
+	}
+}
+
+// Window reads one window of n PIATs from src.
+func Window(src PIATSource, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = src.Next()
+	}
+	return w
+}
+
+// Features reads `windows` consecutive windows of size n from src and
+// returns their feature values.
+func Features(src PIATSource, e Extractor, windows, n int) ([]float64, error) {
+	if windows <= 0 || n < 2 {
+		return nil, errors.New("adversary: need windows > 0 and n >= 2")
+	}
+	out := make([]float64, windows)
+	buf := make([]float64, n)
+	for i := range out {
+		for j := range buf {
+			buf[j] = src.Next()
+		}
+		f, err := e.Extract(buf)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// TrainConfig describes the off-line training phase.
+type TrainConfig struct {
+	// Extractor selects the feature statistic.
+	Extractor Extractor
+	// WindowSize is the run-time sample size n.
+	WindowSize int
+	// WindowsPerClass is the number of training windows collected per
+	// class.
+	WindowsPerClass int
+	// GaussianFit selects a parametric normal fit of the feature
+	// densities instead of the paper's Gaussian KDE (ablation).
+	GaussianFit bool
+	// Priors are the a-priori class probabilities; nil means equal.
+	Priors []float64
+}
+
+// Validate checks the configuration.
+func (c TrainConfig) Validate() error {
+	if c.WindowSize < 2 {
+		return errors.New("adversary: window size must be at least 2")
+	}
+	if c.WindowsPerClass < 2 {
+		return errors.New("adversary: need at least two training windows per class")
+	}
+	return nil
+}
+
+// Attacker is a trained adversary ready for run-time classification.
+type Attacker struct {
+	classifier *bayes.Classifier
+	extractor  Extractor
+	windowSize int
+	labels     []string
+	// TrainFeatures keeps the per-class training feature samples for
+	// diagnostics (e.g. measuring the empirical variance ratio).
+	TrainFeatures [][]float64
+}
+
+// Train runs the off-line phase: for each class it draws training windows
+// from that class's PIAT source, extracts features, and fits the
+// class-conditional densities.
+func Train(cfg TrainConfig, labels []string, sources []PIATSource) (*Attacker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(labels) != len(sources) {
+		return nil, errors.New("adversary: labels/sources length mismatch")
+	}
+	if len(labels) < 2 {
+		return nil, errors.New("adversary: need at least two classes")
+	}
+	features := make([][]float64, len(labels))
+	for i, src := range sources {
+		if src == nil {
+			return nil, fmt.Errorf("adversary: nil source for class %q", labels[i])
+		}
+		f, err := Features(src, cfg.Extractor, cfg.WindowsPerClass, cfg.WindowSize)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: class %q: %w", labels[i], err)
+		}
+		features[i] = f
+	}
+	var cls *bayes.Classifier
+	var err error
+	if cfg.GaussianFit {
+		cls, err = bayes.TrainGaussian(labels, features, cfg.Priors)
+	} else {
+		cls, err = bayes.TrainKDE(labels, features, cfg.Priors)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Attacker{
+		classifier:    cls,
+		extractor:     cfg.Extractor,
+		windowSize:    cfg.WindowSize,
+		labels:        append([]string(nil), labels...),
+		TrainFeatures: features,
+	}, nil
+}
+
+// Classifier exposes the underlying Bayes classifier.
+func (a *Attacker) Classifier() *bayes.Classifier { return a.classifier }
+
+// WindowSize returns the run-time sample size n.
+func (a *Attacker) WindowSize() int { return a.windowSize }
+
+// ClassifyWindow applies the run-time attack to one PIAT sample.
+func (a *Attacker) ClassifyWindow(window []float64) (int, error) {
+	f, err := a.extractor.Extract(window)
+	if err != nil {
+		return 0, err
+	}
+	return a.classifier.Classify(f), nil
+}
+
+// ClassifyNext reads one window from src and classifies it.
+func (a *Attacker) ClassifyNext(src PIATSource) (int, error) {
+	return a.ClassifyWindow(Window(src, a.windowSize))
+}
+
+// Evaluate estimates the detection rate by classifying windowsPerClass
+// fresh windows from each class source (which must be independent of the
+// training streams, mirroring the paper's off-line/run-time split).
+func (a *Attacker) Evaluate(sources []PIATSource, windowsPerClass int) (*bayes.Confusion, error) {
+	if len(sources) != len(a.labels) {
+		return nil, errors.New("adversary: evaluation sources do not match training classes")
+	}
+	if windowsPerClass <= 0 {
+		return nil, errors.New("adversary: need at least one evaluation window per class")
+	}
+	cm := bayes.NewConfusion(a.labels)
+	for class, src := range sources {
+		if src == nil {
+			return nil, fmt.Errorf("adversary: nil evaluation source for class %q", a.labels[class])
+		}
+		for w := 0; w < windowsPerClass; w++ {
+			pred, err := a.ClassifyNext(src)
+			if err != nil {
+				return nil, err
+			}
+			cm.Add(class, pred)
+		}
+	}
+	return cm, nil
+}
+
+// EmpiricalR estimates the paper's variance ratio r = σ_h²/σ_l² from raw
+// PIAT streams: it reads n PIATs from each of the two sources and returns
+// the ratio of their sample variances (high/low as given).
+func EmpiricalR(low, high PIATSource, n int) (float64, error) {
+	if n < 2 {
+		return 0, errors.New("adversary: need n >= 2")
+	}
+	var ml, mh stats.Moments
+	for i := 0; i < n; i++ {
+		ml.Add(low.Next())
+		mh.Add(high.Next())
+	}
+	vl, vh := ml.Variance(), mh.Variance()
+	if !(vl > 0) {
+		return 0, errors.New("adversary: low-rate stream has zero variance")
+	}
+	return vh / vl, nil
+}

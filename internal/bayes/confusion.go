@@ -1,0 +1,83 @@
+package bayes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is an m x m confusion matrix over class indices:
+// rows are true classes, columns are predicted classes.
+type Confusion struct {
+	labels []string
+	counts [][]int
+	total  int
+}
+
+// NewConfusion creates a confusion matrix for the given class labels.
+func NewConfusion(labels []string) *Confusion {
+	counts := make([][]int, len(labels))
+	for i := range counts {
+		counts[i] = make([]int, len(labels))
+	}
+	return &Confusion{labels: append([]string(nil), labels...), counts: counts}
+}
+
+// Add records one classification outcome.
+func (c *Confusion) Add(trueClass, predicted int) {
+	c.counts[trueClass][predicted]++
+	c.total++
+}
+
+// Total returns the number of recorded outcomes.
+func (c *Confusion) Total() int { return c.total }
+
+// Count returns the number of samples of trueClass predicted as predicted.
+func (c *Confusion) Count(trueClass, predicted int) int {
+	return c.counts[trueClass][predicted]
+}
+
+// DetectionRate returns the overall fraction of correct classifications —
+// the paper's security metric (the probability the adversary identifies
+// the payload rate correctly). With no outcomes it returns 0.
+func (c *Confusion) DetectionRate() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.counts {
+		correct += c.counts[i][i]
+	}
+	return float64(correct) / float64(c.total)
+}
+
+// ClassRate returns the per-class recall: the fraction of samples of
+// trueClass classified correctly. Classes with no samples yield 0.
+func (c *Confusion) ClassRate(trueClass int) float64 {
+	row := 0
+	for _, n := range c.counts[trueClass] {
+		row += n
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(c.counts[trueClass][trueClass]) / float64(row)
+}
+
+// String renders the matrix as an aligned text table.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "true\\pred")
+	for _, l := range c.labels {
+		fmt.Fprintf(&b, "%10s", l)
+	}
+	b.WriteByte('\n')
+	for i, l := range c.labels {
+		fmt.Fprintf(&b, "%-10s", l)
+		for j := range c.labels {
+			fmt.Fprintf(&b, "%10d", c.counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "detection rate: %.4f", c.DetectionRate())
+	return b.String()
+}

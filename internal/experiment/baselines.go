@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+
+	"linkpad/internal/analytic"
+	"linkpad/internal/core"
+)
+
+func init() {
+	register("baseline-policies", BaselinePolicies)
+}
+
+// BaselinePolicies compares the three padding policies the paper's
+// narrative contrasts — the common CIT, the proposed VIT, and the
+// related-work adaptive masking (Timmerman 1997, §2) — on all three axes
+// of the trade-off: security (detection rate per feature), bandwidth
+// (padded packet rate at low payload), and QoS (mean payload queueing
+// delay).
+func BaselinePolicies(o Options) (*Table, error) {
+	o = o.withDefaults()
+	type policy struct {
+		code float64
+		name string
+		mut  func(*core.Config)
+	}
+	policies := []policy{
+		{0, "CIT", func(*core.Config) {}},
+		{1, "VIT-30us", func(c *core.Config) { c.SigmaT = 30e-6 }},
+		{2, "ADAPTIVE-x4", func(c *core.Config) {
+			c.Adaptive = &core.AdaptiveSpec{IdleFactor: 4, IdleAfter: 3}
+		}},
+		{3, "MIX-8", func(c *core.Config) {
+			c.Mix = &core.MixSpec{K: 8}
+		}},
+	}
+	t := &Table{
+		ID:      "baseline-policies",
+		Title:   "Padding policies: security vs bandwidth vs QoS (CIT / VIT / adaptive masking)",
+		Columns: []string{"policy", "mean_emp", "var_emp", "ent_emp", "padded_pps_low", "mean_delay_ms"},
+	}
+	const n = 1000
+	rows := make([][]float64, len(policies))
+	err := parMap(len(policies), o.workers(), func(i int) error {
+		cfg := labConfig(o)
+		policies[i].mut(&cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		row := []float64{policies[i].code}
+		for _, f := range []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy} {
+			res, err := sys.RunAttack(core.AttackConfig{
+				Feature:      f,
+				WindowSize:   n,
+				TrainWindows: o.windows(120),
+				EvalWindows:  o.windows(120),
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, res.DetectionRate)
+		}
+		pps, delay, err := padCost(sys, 0, o.windows(120)*n/4)
+		if err != nil {
+			return err
+		}
+		rows[i] = append(row, pps, delay*1e3)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range policies {
+		t.Notef("policy %d = %s", int(p.code), p.name)
+	}
+	t.Notef("padded_pps_low: padded packet rate under the low (10pps) payload; CIT/VIT pay 100pps always")
+	t.Notef("adaptive masking saves bandwidth but leaks the rate at first order: the mean feature alone defeats it")
+	t.Notef("the Chaum mix (no dummies) is cheapest and leaks most: burst gaps are Erlang(K, lambda)")
+	return t, nil
+}
+
+// padCost measures the padded packet rate and the mean payload queueing
+// delay for one class over `packets` padded packets, for both timer
+// gateways and mixes.
+func padCost(sys *core.System, class, packets int) (pps, meanDelay float64, err error) {
+	var (
+		next  func() float64
+		delay func() float64
+	)
+	if sys.Config().Mix != nil {
+		mix, err := sys.MixGateway(class, 99)
+		if err != nil {
+			return 0, 0, err
+		}
+		next, delay = mix.Next, mix.MeanDelay
+	} else {
+		gw, err := sys.Gateway(class, 99)
+		if err != nil {
+			return 0, 0, err
+		}
+		next = gw.Next
+		delay = func() float64 { return gw.Stats().MeanPayloadDelay() }
+	}
+	var last float64
+	for i := 0; i < packets; i++ {
+		last = next()
+	}
+	if last <= 0 {
+		return 0, 0, fmt.Errorf("experiment: gateway produced non-positive horizon")
+	}
+	return float64(packets) / last, delay(), nil
+}

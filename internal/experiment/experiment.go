@@ -1,0 +1,188 @@
+// Package experiment reproduces the paper's evaluation section: one
+// runner per figure (4a, 4b, 5a, 5b, 6, 8a, 8b) plus the §6 multi-rate
+// extension and ablation studies of the reproduction's own design
+// choices. Each runner returns a Table whose rows are the series the
+// paper plots; the bench harness and the linkpadsim CLI render them.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Options control the Monte Carlo effort and reproducibility of a runner.
+type Options struct {
+	// Scale multiplies the number of training/evaluation windows:
+	// 1.0 is full fidelity, smaller values run proportionally faster.
+	// Zero means 1.0.
+	Scale float64
+	// Seed is the master seed. Zero means 1.
+	Seed uint64
+	// Workers bounds sweep parallelism. Zero means min(GOMAXPROCS, 8).
+	// Results are identical for any worker count: every sweep point
+	// derives its randomness from its own seed.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// windows scales a baseline window count, keeping a floor that preserves
+// statistical meaning even in -short runs.
+func (o Options) windows(base int) int {
+	n := int(math.Round(float64(base) * o.Scale))
+	if n < 24 {
+		n = 24
+	}
+	return n
+}
+
+// Table is one experiment's result: named numeric columns, one row per
+// x-axis point, with free-form notes for calibration context.
+type Table struct {
+	// ID is the registry key, e.g. "fig4b".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns names the numeric columns.
+	Columns []string
+	// Rows holds the data; every row has len(Columns) values.
+	Rows [][]float64
+	// Notes carries measurement context (calibrated r, parameters, ...).
+	Notes []string
+}
+
+// AddRow appends a row, which must match the column count.
+func (t *Table) AddRow(vals ...float64) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("experiment: row has %d values, table %q has %d columns",
+			len(vals), t.ID, len(t.Columns))
+	}
+	t.Rows = append(t.Rows, vals)
+	return nil
+}
+
+// Notef appends a formatted note.
+func (t *Table) Notef(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the table as an aligned text report.
+func (t *Table) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for j, c := range t.Columns {
+		widths[j] = len(c)
+	}
+	for i, row := range t.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = formatCell(v)
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	head := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		head[j] = fmt.Sprintf("%*s", widths[j], c)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, "  ")); err != nil {
+		return err
+	}
+	for _, row := range cells {
+		line := make([]string, len(row))
+		for j, c := range row {
+			line[j] = fmt.Sprintf("%*s", widths[j], c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(line, "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = formatCell(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatCell renders a float compactly: integers without decimals, small
+// magnitudes in scientific notation.
+func formatCell(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15 && (v == 0 || math.Abs(v) >= 1):
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Runner produces one experiment table.
+type Runner func(Options) (*Table, error)
+
+// registry maps experiment IDs to runners; populated by init functions in
+// the figure and extension files.
+var registry = map[string]Runner{}
+
+// register adds a runner; duplicate IDs panic at init time.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiment: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// Names returns all experiment IDs in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, errors.New("experiment: unknown id " + id +
+			" (known: " + strings.Join(Names(), ", ") + ")")
+	}
+	return r(o.withDefaults())
+}

@@ -1,0 +1,576 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps unit-test runtime low; the bench harness and CLI run at
+// higher scales.
+var fastOpts = Options{Scale: 0.25, Seed: 7}
+
+func runTable(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := Run(id, fastOpts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tbl.ID != id {
+		t.Fatalf("table ID = %q, want %q", tbl.ID, id)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s row %d: %d cells for %d columns", id, i, len(row), len(tbl.Columns))
+		}
+	}
+	return tbl
+}
+
+func col(tbl *Table, name string) []float64 {
+	idx := -1
+	for j, c := range tbl.Columns {
+		if c == name {
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(tbl.Rows))
+	for i, row := range tbl.Rows {
+		out[i] = row[idx]
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"ablation-binwidth", "ablation-crossmodel",
+		"ablation-payload", "ablation-tap", "ablation-theorygap",
+		"ablation-training", "baseline-policies", "ext-features",
+		"ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b",
+		"fig6", "fig8a", "fig8b", "multirate", "validate-exactnet"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registry has %v, want %v", names, want)
+		}
+	}
+	if _, err := Run("nope", fastOpts); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tbl := runTable(t, "fig4a")
+	// Densities are non-negative and each class's density peaks near the
+	// center (offset 0) — the bell shape of paper Fig. 4(a).
+	dLow := col(tbl, "density_10pps")
+	dHigh := col(tbl, "density_40pps")
+	center := len(dLow) / 2
+	for i := range dLow {
+		if dLow[i] < 0 || dHigh[i] < 0 {
+			t.Fatal("negative density")
+		}
+	}
+	if dLow[center] < dLow[0]*5 || dHigh[center] < dHigh[0]*5 {
+		t.Errorf("densities not peaked at center: low %v->%v, high %v->%v",
+			dLow[0], dLow[center], dHigh[0], dHigh[center])
+	}
+	// The high-rate class is more spread: lower peak density.
+	if dHigh[center] >= dLow[center] {
+		t.Errorf("high-rate peak %v should be below low-rate peak %v (r>1)",
+			dHigh[center], dLow[center])
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	tbl := runTable(t, "fig4b")
+	ns := col(tbl, "n")
+	varEmp := col(tbl, "var_emp")
+	entEmp := col(tbl, "ent_emp")
+	meanEmp := col(tbl, "mean_emp")
+	last := len(ns) - 1
+	// Variance and entropy climb to near-perfect detection by n=2000.
+	if varEmp[last] < 0.9 || entEmp[last] < 0.9 {
+		t.Errorf("large-n detection: var %v ent %v, want > 0.9", varEmp[last], entEmp[last])
+	}
+	// They improve with n overall.
+	if varEmp[last] <= varEmp[0] || entEmp[last] <= entEmp[0] {
+		t.Errorf("detection did not grow with n: var %v->%v ent %v->%v",
+			varEmp[0], varEmp[last], entEmp[0], entEmp[last])
+	}
+	// Mean stays far below, near guessing.
+	for i := range meanEmp {
+		if meanEmp[i] > 0.75 {
+			t.Errorf("mean detection at n=%v is %v, should stay near 0.5", ns[i], meanEmp[i])
+		}
+	}
+	// Empirical tracks theory for variance/entropy at the largest n.
+	varTh := col(tbl, "var_theory")
+	entTh := col(tbl, "ent_theory")
+	if diff := varEmp[last] - varTh[last]; diff < -0.15 || diff > 0.15 {
+		t.Errorf("variance empirical %v vs theory %v", varEmp[last], varTh[last])
+	}
+	if diff := entEmp[last] - entTh[last]; diff < -0.15 || diff > 0.15 {
+		t.Errorf("entropy empirical %v vs theory %v", entEmp[last], entTh[last])
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tbl := runTable(t, "fig5a")
+	varEmp := col(tbl, "var_emp")
+	entEmp := col(tbl, "ent_emp")
+	rModel := col(tbl, "model_r")
+	last := len(varEmp) - 1
+	// CIT (sigma_T = 0) is detectable at n=2000; large sigma_T defeats it.
+	if varEmp[0] < 0.9 || entEmp[0] < 0.9 {
+		t.Errorf("sigma_T=0 detection: var %v ent %v, want > 0.9", varEmp[0], entEmp[0])
+	}
+	// At this test's reduced scale (60 eval windows) the Monte Carlo
+	// noise on a 0.5 expectation is ~0.065, so bound loosely; the bench
+	// harness at full scale pins this tighter.
+	if varEmp[last] > 0.68 || entEmp[last] > 0.68 {
+		t.Errorf("sigma_T=100us detection: var %v ent %v, want ~0.5", varEmp[last], entEmp[last])
+	}
+	// Model r decreases toward 1 monotonically.
+	for i := 1; i < len(rModel); i++ {
+		if rModel[i] > rModel[i-1]+1e-12 {
+			t.Fatalf("model r not decreasing: %v", rModel)
+		}
+	}
+	if rModel[last] > 1.05 {
+		t.Errorf("model r at 100us = %v, want ~1", rModel[last])
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	tbl := runTable(t, "fig5b")
+	n99v := col(tbl, "n99_variance")
+	n99e := col(tbl, "n99_entropy")
+	// Required sample size explodes with sigma_T.
+	for i := 1; i < len(n99v); i++ {
+		if n99v[i] <= n99v[i-1] || n99e[i] <= n99e[i-1] {
+			t.Fatal("n(99%) must increase with sigma_T")
+		}
+	}
+	last := len(n99v) - 1
+	if n99v[last] < 1e11 {
+		t.Errorf("n99 at sigma_T=1ms = %v, want > 1e11 (paper's headline)", n99v[last])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tbl := runTable(t, "fig6")
+	util := col(tbl, "utilization")
+	varEmp := col(tbl, "var_emp")
+	entEmp := col(tbl, "ent_emp")
+	meanEmp := col(tbl, "mean_emp")
+	first, last := 0, len(util)-1
+	// Detection falls with utilization for variance and entropy.
+	if varEmp[last] >= varEmp[first] || entEmp[last] >= entEmp[first] {
+		t.Errorf("detection did not fall with utilization: var %v->%v ent %v->%v",
+			varEmp[first], varEmp[last], entEmp[first], entEmp[last])
+	}
+	// Entropy is the more robust feature under cross traffic (outliers):
+	// compare at the highest utilization.
+	if entEmp[last] < varEmp[last]-0.05 {
+		t.Errorf("entropy (%v) should not fall below variance (%v) at u=0.5",
+			entEmp[last], varEmp[last])
+	}
+	// Mean stays near guessing everywhere.
+	for i := range meanEmp {
+		if meanEmp[i] > 0.72 {
+			t.Errorf("mean detection %v at u=%v", meanEmp[i], util[i])
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	campus := runTable(t, "fig8a")
+	wan := runTable(t, "fig8b")
+	avg := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	campusEnt := avg(col(campus, "ent_emp"))
+	wanEnt := avg(col(wan, "ent_emp"))
+	// Campus detection stays high; WAN is substantially lower.
+	if campusEnt < 0.8 {
+		t.Errorf("campus mean entropy detection = %v, want > 0.8", campusEnt)
+	}
+	if wanEnt >= campusEnt-0.05 {
+		t.Errorf("WAN (%v) should be clearly below campus (%v)", wanEnt, campusEnt)
+	}
+	// WAN night hours (2-4 AM rows) beat the afternoon (14-16) —
+	// the paper's "2:00AM" observation.
+	hours := col(wan, "hour")
+	ent := col(wan, "ent_emp")
+	night, day := 0.0, 0.0
+	var nNight, nDay int
+	for i, h := range hours {
+		switch h {
+		case 2, 4:
+			night += ent[i]
+			nNight++
+		case 14, 16:
+			day += ent[i]
+			nDay++
+		}
+	}
+	if nNight == 0 || nDay == 0 {
+		t.Fatal("missing night/day rows")
+	}
+	if night/float64(nNight) <= day/float64(nDay) {
+		t.Errorf("WAN night detection (%v) should exceed afternoon (%v)",
+			night/float64(nNight), day/float64(nDay))
+	}
+}
+
+func TestMultiRate(t *testing.T) {
+	tbl := runTable(t, "multirate")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 class rows, got %d", len(tbl.Rows))
+	}
+	recalls := col(tbl, "recall")
+	var sum float64
+	for _, r := range recalls {
+		if r < 0 || r > 1 {
+			t.Fatalf("recall %v out of range", r)
+		}
+		sum += r
+	}
+	// Four CIT classes at the gateway should be far above 0.25 guessing.
+	if sum/4 < 0.6 {
+		t.Errorf("mean recall = %v, want > 0.6", sum/4)
+	}
+}
+
+func TestAblationBinWidth(t *testing.T) {
+	tbl := runTable(t, "ablation-binwidth")
+	det := col(tbl, "ent_emp")
+	widths := col(tbl, "bin_width_us")
+	// The default 2us bin must be near the best of the sweep, and the
+	// coarsest bin must be clearly worse than the best.
+	best, atDefault, coarsest := 0.0, 0.0, det[len(det)-1]
+	for i, w := range widths {
+		if det[i] > best {
+			best = det[i]
+		}
+		if w == 2 {
+			atDefault = det[i]
+		}
+	}
+	if atDefault < best-0.1 {
+		t.Errorf("default bin width detection %v far below best %v", atDefault, best)
+	}
+	if coarsest > best-0.05 {
+		t.Errorf("coarsest bin (%v) should lose information vs best (%v)", coarsest, best)
+	}
+}
+
+func TestAblationTraining(t *testing.T) {
+	tbl := runTable(t, "ablation-training")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 feature rows")
+	}
+	kde := col(tbl, "kde_emp")
+	gauss := col(tbl, "gaussfit_emp")
+	// Variance and entropy rows: both trainings should detect well here
+	// (feature distributions are near-normal at the gateway).
+	for i := 1; i <= 2; i++ {
+		if kde[i] < 0.85 || gauss[i] < 0.85 {
+			t.Errorf("row %d: kde %v gauss %v, want both > 0.85", i, kde[i], gauss[i])
+		}
+	}
+}
+
+func TestAblationPayload(t *testing.T) {
+	tbl := runTable(t, "ablation-payload")
+	ent := col(tbl, "ent_emp")
+	// The leak persists across payload models.
+	for i, v := range ent {
+		if v < 0.8 {
+			t.Errorf("model row %d: entropy detection %v, want > 0.8 (leak persists)", i, v)
+		}
+	}
+}
+
+func TestAblationTap(t *testing.T) {
+	tbl := runTable(t, "ablation-tap")
+	res := col(tbl, "resolution_us")
+	ent := col(tbl, "ent_emp")
+	var perfect, coarse float64
+	for i := range res {
+		if res[i] == 0 && col(tbl, "loss_prob")[i] == 0 {
+			perfect = ent[i]
+		}
+		if res[i] == 20 {
+			coarse = ent[i]
+		}
+	}
+	if perfect < 0.9 {
+		t.Errorf("perfect tap detection = %v", perfect)
+	}
+	if coarse > perfect-0.2 {
+		t.Errorf("20us clock (%v) should destroy most of the leak vs perfect (%v)", coarse, perfect)
+	}
+}
+
+func TestAblationTheoryGap(t *testing.T) {
+	tbl := runTable(t, "ablation-theorygap")
+	emp := col(tbl, "ent_emp")
+	th := col(tbl, "ent_theory")
+	// At sigma_T = 0 the two should roughly agree; at mid sigma_T the
+	// empirical attack is allowed to exceed theory (shape leakage), never
+	// to fall dramatically below it.
+	if diff := emp[0] - th[0]; diff < -0.15 || diff > 0.15 {
+		t.Errorf("sigma_T=0: emp %v vs theory %v", emp[0], th[0])
+	}
+	for i := range emp {
+		if emp[i] < th[i]-0.15 {
+			t.Errorf("row %d: empirical %v far below theory %v", i, emp[i], th[i])
+		}
+	}
+}
+
+// The policy comparison: CIT detectable by second-order features, VIT by
+// none, adaptive masking by everything (including the mean) — but cheap.
+func TestBaselinePolicies(t *testing.T) {
+	tbl := runTable(t, "baseline-policies")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 policy rows")
+	}
+	mean := col(tbl, "mean_emp")
+	ent := col(tbl, "ent_emp")
+	pps := col(tbl, "padded_pps_low")
+	delay := col(tbl, "mean_delay_ms")
+	// CIT (row 0): entropy detects, mean does not.
+	if ent[0] < 0.9 || mean[0] > 0.75 {
+		t.Errorf("CIT: ent %v mean %v", ent[0], mean[0])
+	}
+	// VIT (row 1): nothing detects well.
+	if ent[1] > 0.72 || mean[1] > 0.72 {
+		t.Errorf("VIT: ent %v mean %v", ent[1], mean[1])
+	}
+	// Adaptive (row 2): even the mean feature detects, but bandwidth is
+	// far below CIT's 100 pps and delay is worse.
+	if mean[2] < 0.95 {
+		t.Errorf("adaptive: mean detection %v, want ~1", mean[2])
+	}
+	if pps[2] > 0.6*pps[0] {
+		t.Errorf("adaptive padded rate %v should undercut CIT %v", pps[2], pps[0])
+	}
+	if delay[2] <= delay[0] {
+		t.Errorf("adaptive delay %v should exceed CIT %v", delay[2], delay[0])
+	}
+	// Mix (row 3): detected at first order, cheapest in bandwidth
+	// (sends only the payload), worst in delay (waits for K packets).
+	if mean[3] < 0.95 {
+		t.Errorf("mix: mean detection %v, want ~1", mean[3])
+	}
+	if pps[3] > 0.2*pps[0] {
+		t.Errorf("mix padded rate %v should be ~ the payload rate", pps[3])
+	}
+	if delay[3] <= delay[2] {
+		t.Errorf("mix delay %v should exceed adaptive's %v", delay[3], delay[2])
+	}
+}
+
+// Size-based identification: unpadded sizes identify the application,
+// constant padding reduces the adversary to exact guessing, buckets sit
+// in between on overhead.
+func TestExtSizes(t *testing.T) {
+	tbl := runTable(t, "ext-sizes")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 padder rows")
+	}
+	det := col(tbl, "detection")
+	ovInter := col(tbl, "overhead_interactive")
+	if det[0] < 0.99 {
+		t.Errorf("unpadded size detection = %v, want ~1", det[0])
+	}
+	if det[2] != 0.5 {
+		t.Errorf("constant-pad detection = %v, want exactly 0.5", det[2])
+	}
+	if det[1] <= det[2] {
+		t.Errorf("bucket detection %v should exceed constant %v", det[1], det[2])
+	}
+	// Overheads: none = 1; constant is the most expensive for the small-
+	// packet profile.
+	if ovInter[0] != 1 {
+		t.Errorf("NoPad overhead = %v", ovInter[0])
+	}
+	if !(ovInter[2] > ovInter[1] && ovInter[1] >= 1) {
+		t.Errorf("overhead ordering broken: %v", ovInter)
+	}
+}
+
+// Burstier cross traffic at equal utilization gives better cover: both
+// second-order features detect less against train cross traffic than
+// against Poisson.
+func TestAblationCrossModel(t *testing.T) {
+	tbl := runTable(t, "ablation-crossmodel")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected 2 model rows")
+	}
+	ent := col(tbl, "ent_emp")
+	if ent[1] > ent[0]+0.05 {
+		t.Errorf("bursty cross (%v) should not beat Poisson cover (%v)", ent[1], ent[0])
+	}
+	// At u=0.3 with Poisson cross the entropy feature still detects well
+	// (matches fig6 at the same point).
+	if ent[0] < 0.75 {
+		t.Errorf("Poisson-cross entropy detection = %v, want > 0.75", ent[0])
+	}
+}
+
+// The IQR extension behaves like the other second-order features: strong
+// detection against CIT at the gateway by n=1000.
+func TestExtFeatures(t *testing.T) {
+	tbl := runTable(t, "ext-features")
+	iqr := col(tbl, "iqr_emp")
+	ent := col(tbl, "ent_emp")
+	last := len(iqr) - 1
+	if iqr[last] < 0.85 {
+		t.Errorf("IQR detection at n=1000 = %v, want > 0.85", iqr[last])
+	}
+	if ent[last] < 0.9 {
+		t.Errorf("entropy detection at n=1000 = %v", ent[last])
+	}
+}
+
+// Fast-path and exact-router detection rates must agree at the attack
+// level — the end-to-end justification for the stationary sampler.
+func TestValidateExactNet(t *testing.T) {
+	tbl := runTable(t, "validate-exactnet")
+	varE := col(tbl, "var_emp")
+	entE := col(tbl, "ent_emp")
+	if len(varE) != 2 {
+		t.Fatalf("expected fast and exact rows")
+	}
+	if d := varE[0] - varE[1]; d < -0.12 || d > 0.12 {
+		t.Errorf("variance detection: fast %v vs exact %v", varE[0], varE[1])
+	}
+	if d := entE[0] - entE[1]; d < -0.12 || d > 0.12 {
+		t.Errorf("entropy detection: fast %v vs exact %v", entE[0], entE[1])
+	}
+}
+
+// Sweeps must be deterministic in the worker count: every point draws
+// randomness only from its own seed.
+func TestParallelDeterminism(t *testing.T) {
+	opts1 := Options{Scale: 0.12, Seed: 5, Workers: 1}
+	opts4 := Options{Scale: 0.12, Seed: 5, Workers: 4}
+	a, err := Run("fig6", opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig6", opts4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row count differs: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestParMap(t *testing.T) {
+	// All indices visited exactly once.
+	n := 100
+	visited := make([]int, n)
+	if err := parMap(n, 7, func(i int) error { visited[i]++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	// Errors propagate and stop the sweep early.
+	boom := func(i int) error {
+		if i == 3 {
+			return errTest
+		}
+		return nil
+	}
+	if err := parMap(10, 2, boom); err != errTest {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if err := parMap(0, 4, func(int) error { return errTest }); err != nil {
+		t.Errorf("empty sweep should not error: %v", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestTableWriters(t *testing.T) {
+	tbl := &Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"x", "y"},
+	}
+	if err := tbl.AddRow(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(2, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(1, 2, 3); err == nil {
+		t.Error("mismatched row accepted")
+	}
+	tbl.Notef("note %d", 42)
+
+	var text bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"demo table", "note 42", "x", "y", "1e-07"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,y" {
+		t.Errorf("csv output:\n%s", csv.String())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Seed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if (Options{Scale: 0.001}).windows(100) != 24 {
+		t.Error("window floor broken")
+	}
+	if (Options{Scale: 2}.withDefaults()).windows(100) != 200 {
+		t.Error("window scaling broken")
+	}
+}

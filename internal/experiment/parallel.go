@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// defaultWorkers bounds sweep parallelism: experiment points are
+// CPU-bound, so more workers than cores only adds scheduling noise.
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// workers resolves the Options worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return defaultWorkers()
+}
+
+// parMap executes fn(i) for every i in [0, n) on up to `workers`
+// goroutines and returns the first error encountered. Each point is
+// responsible for writing its result into a pre-indexed slot, so results
+// are identical regardless of the worker count — every experiment point
+// derives its randomness from its own seed, never from execution order.
+func parMap(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int
+		mu       sync.Mutex
+		firstErr error
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,409 @@
+// Package gateway models the sender security gateway GW1 (paper §3.2):
+// a timer-driven link-padding engine that emits one constant-size packet
+// per timer interrupt — a queued payload packet if one is waiting, a dummy
+// otherwise — so that the padded stream's timing is nominally independent
+// of the payload.
+//
+// The reproduction's key mechanism is the timer interrupt jitter δ_gw
+// (paper §4.1.2): each fire is perturbed by operating-system noise
+// N(0, σ_os²) plus a compound blocking delay — every payload packet that
+// arrived at the NIC during the elapsed timer interval may have preempted
+// the CPU and delays the timer interrupt by a small exponential amount.
+// The blocking term's variance grows linearly with the payload rate, so
+// Var(PIAT | ω_h) > Var(PIAT | ω_l) while the means stay equal: exactly
+// the leak the paper's adversary exploits, emerging here from an explicit
+// causal model rather than being injected as a fitted constant.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// TimerPolicy chooses the designed interval T between consecutive timer
+// interrupts (paper §3.2 remark 2): constant for CIT, random for VIT.
+type TimerPolicy interface {
+	// NextInterval returns the next designed timer interval in seconds.
+	NextInterval() float64
+	// Mean returns E[T].
+	Mean() float64
+	// IntervalVar returns Var(T) = σ_T² (0 for CIT).
+	IntervalVar() float64
+	// MaxInterval returns an upper bound on emitted intervals, used for
+	// QoS delay bounds. For unbounded distributions it is a practical
+	// quantile (VIT uses mean + 8σ).
+	MaxInterval() float64
+	// Name identifies the policy in reports, e.g. "CIT" or "VIT".
+	Name() string
+}
+
+// QueueObserver is implemented by timer policies that adapt to the
+// payload queue (e.g. Adaptive); the gateway reports the queue length
+// before drawing each interval.
+type QueueObserver interface {
+	ObserveQueue(qlen int)
+}
+
+// CIT is the constant interval timer policy: T = τ every fire.
+type CIT struct {
+	tau float64
+}
+
+// NewCIT creates a CIT policy with period tau > 0.
+func NewCIT(tau float64) (*CIT, error) {
+	if !(tau > 0) {
+		return nil, errors.New("gateway: CIT period must be positive")
+	}
+	return &CIT{tau: tau}, nil
+}
+
+// NextInterval returns τ.
+func (c *CIT) NextInterval() float64 { return c.tau }
+
+// Mean returns τ.
+func (c *CIT) Mean() float64 { return c.tau }
+
+// IntervalVar returns 0.
+func (c *CIT) IntervalVar() float64 { return 0 }
+
+// MaxInterval returns τ.
+func (c *CIT) MaxInterval() float64 { return c.tau }
+
+// Name returns "CIT".
+func (c *CIT) Name() string { return "CIT" }
+
+// VIT is the variable interval timer policy: T ~ N(τ, σ_T²), truncated
+// below at a small positive floor so intervals stay physical.
+type VIT struct {
+	tau    float64
+	sigmaT float64
+	floor  float64
+	rng    *xrand.Rand
+}
+
+// NewVIT creates a VIT policy with mean tau > 0 and standard deviation
+// sigmaT >= 0. Intervals are truncated below at tau/100.
+func NewVIT(tau, sigmaT float64, rng *xrand.Rand) (*VIT, error) {
+	if !(tau > 0) {
+		return nil, errors.New("gateway: VIT mean interval must be positive")
+	}
+	if sigmaT < 0 {
+		return nil, errors.New("gateway: VIT sigma must be non-negative")
+	}
+	if rng == nil {
+		return nil, errors.New("gateway: VIT needs an rng")
+	}
+	return &VIT{tau: tau, sigmaT: sigmaT, floor: tau / 100, rng: rng}, nil
+}
+
+// NextInterval draws a truncated normal interval.
+func (v *VIT) NextInterval() float64 {
+	return v.rng.TruncNormal(v.tau, v.sigmaT, v.floor)
+}
+
+// Mean returns τ (truncation bias is negligible for σ_T << τ).
+func (v *VIT) Mean() float64 { return v.tau }
+
+// IntervalVar returns σ_T².
+func (v *VIT) IntervalVar() float64 { return v.sigmaT * v.sigmaT }
+
+// MaxInterval returns the practical upper bound τ + 8σ_T
+// (P(T > τ+8σ) ≈ 6e-16 for the truncated normal).
+func (v *VIT) MaxInterval() float64 { return v.tau + 8*v.sigmaT }
+
+// Name returns "VIT".
+func (v *VIT) Name() string { return "VIT" }
+
+// JitterModel is the gateway host's timer-disturbance model: the source of
+// δ_gw in the paper's PIAT decomposition (eq. 8).
+type JitterModel struct {
+	// SigmaOS is the standard deviation of the per-fire scheduling noise
+	// (context switching into the timer ISR), in seconds.
+	SigmaOS float64
+	// BlockMean is the mean of the exponential delay each payload NIC
+	// interrupt adds to the pending timer interrupt, in seconds.
+	BlockMean float64
+	// BlockCap bounds a single blocking delay (interrupt handlers have a
+	// bounded critical section), in seconds.
+	BlockCap float64
+}
+
+// DefaultJitter returns the calibration used throughout the study:
+// σ_os = 3 µs, blocking Exp(4.4 µs) capped at 60 µs. With Poisson payload
+// at 10/40 pps and τ = 10 ms this yields a PIAT variance ratio r ≈ 1.9,
+// reproducing the scale of the paper's Fig. 4 lab measurements
+// (PIAT spread of a few tens of µs around 10 ms, near-100 % detection at
+// sample size 1000 for variance/entropy features).
+func DefaultJitter() JitterModel {
+	return JitterModel{SigmaOS: 3e-6, BlockMean: 4.4e-6, BlockCap: 60e-6}
+}
+
+// Validate checks the model parameters.
+func (j JitterModel) Validate() error {
+	if j.SigmaOS < 0 || j.BlockMean < 0 || j.BlockCap < 0 {
+		return errors.New("gateway: jitter parameters must be non-negative")
+	}
+	if j.BlockMean > 0 && j.BlockCap > 0 && j.BlockCap < j.BlockMean {
+		return errors.New("gateway: blocking cap below blocking mean")
+	}
+	return nil
+}
+
+// Delay draws the timer-interrupt displacement for one fire given the
+// number of payload arrivals in the elapsed interval.
+func (j JitterModel) Delay(arrivals int, rng *xrand.Rand) float64 {
+	d := rng.Normal(0, j.SigmaOS)
+	for i := 0; i < arrivals; i++ {
+		b := rng.Exp(j.BlockMean)
+		if j.BlockCap > 0 && b > j.BlockCap {
+			b = j.BlockCap
+		}
+		d += b
+	}
+	return d
+}
+
+// blockSecondMoment returns E[min(X, cap)²] for X ~ Exp(BlockMean).
+func (j JitterModel) blockSecondMoment() float64 {
+	m := j.BlockMean
+	if m == 0 {
+		return 0
+	}
+	if j.BlockCap <= 0 {
+		return 2 * m * m
+	}
+	c := j.BlockCap
+	return 2*m*m - math.Exp(-c/m)*(2*m*m+2*m*c)
+}
+
+// blockMeanCapped returns E[min(X, cap)].
+func (j JitterModel) blockMeanCapped() float64 {
+	m := j.BlockMean
+	if m == 0 {
+		return 0
+	}
+	if j.BlockCap <= 0 {
+		return m
+	}
+	return m * (1 - math.Exp(-j.BlockCap/m))
+}
+
+// DeltaVar returns the per-fire variance of δ_gw when Poisson payload at
+// rate lambda (packets/second) feeds a timer with mean interval tau:
+// σ_os² plus the compound-Poisson blocking variance λτ·E[d²].
+func (j JitterModel) DeltaVar(lambda, tau float64) float64 {
+	return j.SigmaOS*j.SigmaOS + lambda*tau*j.blockSecondMoment()
+}
+
+// PIATVar predicts the padded-traffic PIAT variance at the gateway output
+// for the given policy and Poisson payload rate:
+//
+//	Var(X) = σ_T² + 2·Var(δ_gw)
+//
+// since X_k = T_k + δ_{k+1} − δ_k with independent per-interval blocking.
+// This is the model-side σ² that enters the paper's ratio r (eq. 16).
+func PIATVar(policy TimerPolicy, j JitterModel, lambda float64) float64 {
+	return policy.IntervalVar() + 2*j.DeltaVar(lambda, policy.Mean())
+}
+
+// VarianceRatio predicts r = σ_h²/σ_l² (paper eq. 16) at the gateway
+// output (σ_net = 0) for Poisson payload rates low < high.
+func VarianceRatio(policy TimerPolicy, j JitterModel, low, high float64) float64 {
+	return PIATVar(policy, j, high) / PIATVar(policy, j, low)
+}
+
+// Config assembles a gateway.
+type Config struct {
+	// Policy is the timer policy (required).
+	Policy TimerPolicy
+	// Jitter is the host disturbance model.
+	Jitter JitterModel
+	// Payload is the incoming payload arrival process (required).
+	Payload traffic.Source
+	// RNG drives the jitter draws (required).
+	RNG *xrand.Rand
+	// QueueCap bounds the payload queue; 0 means unbounded. Arrivals
+	// beyond the cap are dropped and counted (the paper's QoS coupling:
+	// padding rate must cover the payload rate or delay/loss grows).
+	QueueCap int
+}
+
+// Stats counts gateway activity, including the QoS side of the paper's
+// trade-off (NetCamo, ref. [9]): how long payload packets sit in the
+// padding queue.
+type Stats struct {
+	// Fires is the number of timer interrupts, i.e. padded packets sent.
+	Fires uint64
+	// PayloadSent is the number of padded packets carrying payload.
+	PayloadSent uint64
+	// Dummies is the number of dummy packets sent.
+	Dummies uint64
+	// Arrivals is the number of payload packets that arrived.
+	Arrivals uint64
+	// Dropped counts arrivals rejected by a full queue.
+	Dropped uint64
+	// MaxQueue is the payload queue's high-water mark.
+	MaxQueue int
+	// DelaySum accumulates the queueing delay of every sent payload
+	// packet (departure − arrival), in seconds.
+	DelaySum float64
+	// DelayMax is the largest payload queueing delay observed.
+	DelayMax float64
+}
+
+// OverheadRatio returns the fraction of sent packets that were dummies —
+// the bandwidth cost of the countermeasure.
+func (s Stats) OverheadRatio() float64 {
+	if s.Fires == 0 {
+		return 0
+	}
+	return float64(s.Dummies) / float64(s.Fires)
+}
+
+// MeanPayloadDelay returns the average queueing delay of sent payload
+// packets (0 if none were sent).
+func (s Stats) MeanPayloadDelay() float64 {
+	if s.PayloadSent == 0 {
+		return 0
+	}
+	return s.DelaySum / float64(s.PayloadSent)
+}
+
+// DelayBound returns the worst-case queueing delay of a payload packet
+// that arrives to find q packets already queued: it departs within q+1
+// timer intervals, each at most policy.MaxInterval(), plus the bounded
+// per-fire jitter. This is the NetCamo-style admission bound coupling
+// padding rate to payload QoS.
+func DelayBound(policy TimerPolicy, j JitterModel, q int) float64 {
+	slack := 4 * j.SigmaOS
+	if j.BlockCap > 0 {
+		slack += j.BlockCap
+	}
+	return float64(q+1)*policy.MaxInterval() + slack
+}
+
+// Gateway is a running sender gateway. It produces the padded packet
+// departure process one packet at a time; it is not safe for concurrent
+// use.
+type Gateway struct {
+	cfg   Config
+	stats Stats
+
+	sched       float64   // last scheduled fire time
+	lastDepart  float64   // last actual departure time
+	nextArrival float64   // absolute time of next payload arrival
+	queue       []float64 // arrival times of queued payload packets
+	qhead       int       // index of the oldest queued packet
+	started     bool
+}
+
+// minSpacing keeps departures strictly increasing even when jitter draws
+// would reorder adjacent fires (1 ns, far below every noise scale).
+const minSpacing = 1e-9
+
+// New creates a gateway from cfg.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("gateway: nil timer policy")
+	}
+	if cfg.Payload == nil {
+		return nil, errors.New("gateway: nil payload source")
+	}
+	if cfg.RNG == nil {
+		return nil, errors.New("gateway: nil rng")
+	}
+	if err := cfg.Jitter.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("gateway: negative queue cap %d", cfg.QueueCap)
+	}
+	return &Gateway{cfg: cfg}, nil
+}
+
+// NextPacket advances the gateway by one timer fire and returns the
+// departure time of the emitted padded packet and whether it was a dummy.
+// Departure times are strictly increasing.
+func (g *Gateway) NextPacket() (departure float64, dummy bool) {
+	if !g.started {
+		g.started = true
+		g.nextArrival = g.cfg.Payload.Next()
+	}
+	if qa, ok := g.cfg.Policy.(QueueObserver); ok {
+		qa.ObserveQueue(g.QueueLen())
+	}
+	g.sched += g.cfg.Policy.NextInterval()
+
+	// Admit every payload arrival up to the scheduled fire instant; each
+	// one is a NIC interrupt that may block the timer ISR.
+	arrivals := 0
+	for g.nextArrival <= g.sched {
+		arrivals++
+		g.stats.Arrivals++
+		if g.cfg.QueueCap > 0 && g.QueueLen() >= g.cfg.QueueCap {
+			g.stats.Dropped++
+		} else {
+			g.queue = append(g.queue, g.nextArrival)
+			if q := g.QueueLen(); q > g.stats.MaxQueue {
+				g.stats.MaxQueue = q
+			}
+		}
+		g.nextArrival += g.cfg.Payload.Next()
+	}
+
+	fire := g.sched + g.cfg.Jitter.Delay(arrivals, g.cfg.RNG)
+	if fire <= g.lastDepart {
+		fire = g.lastDepart + minSpacing
+	}
+	g.lastDepart = fire
+	g.stats.Fires++
+
+	if g.QueueLen() > 0 {
+		arrived := g.queue[g.qhead]
+		g.qhead++
+		// Reclaim the consumed prefix once it dominates the buffer.
+		if g.qhead > 1024 && g.qhead*2 > len(g.queue) {
+			g.queue = append(g.queue[:0], g.queue[g.qhead:]...)
+			g.qhead = 0
+		}
+		delay := fire - arrived
+		g.stats.DelaySum += delay
+		if delay > g.stats.DelayMax {
+			g.stats.DelayMax = delay
+		}
+		g.stats.PayloadSent++
+		return fire, false
+	}
+	g.stats.Dummies++
+	return fire, true
+}
+
+// Next returns the next padded-packet departure time, implementing the
+// timestamp-stream contract consumed by internal/netem.
+func (g *Gateway) Next() float64 {
+	t, _ := g.NextPacket()
+	return t
+}
+
+// Stats returns a copy of the activity counters.
+func (g *Gateway) Stats() Stats { return g.stats }
+
+// QueueLen returns the current payload queue length.
+func (g *Gateway) QueueLen() int { return len(g.queue) - g.qhead }
+
+// PIATs collects the next n packet inter-arrival times of the padded
+// stream as observed at the gateway output (σ_net = 0).
+func (g *Gateway) PIATs(n int) []float64 {
+	out := make([]float64, n)
+	prev := g.Next()
+	for i := 0; i < n; i++ {
+		t := g.Next()
+		out[i] = t - prev
+		prev = t
+	}
+	return out
+}

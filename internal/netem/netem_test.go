@@ -1,0 +1,460 @@
+package netem
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"linkpad/internal/sim"
+	"linkpad/internal/stats"
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// service time of a 1500-byte packet on 100 Mbit/s
+const svc = 120e-6
+
+func periodicTimes(n int, period float64) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i+1) * period
+	}
+	return ts
+}
+
+func TestServiceTime(t *testing.T) {
+	if got := ServiceTime(100e6, 1500); math.Abs(got-svc) > 1e-12 {
+		t.Errorf("ServiceTime = %v, want %v", got, svc)
+	}
+	if got := ServiceTime(10e6, 1500); math.Abs(got-1.2e-3) > 1e-12 {
+		t.Errorf("ServiceTime = %v, want 1.2ms", got)
+	}
+}
+
+func TestMD1FormulasKnown(t *testing.T) {
+	// rho=0.4, s=1: mean = 1/3, var = 1/3 (worked example in package docs).
+	if got := MD1WaitMean(0.4, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := MD1WaitVar(0.4, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("var = %v", got)
+	}
+	if MD1WaitMean(0, 1) != 0 || MD1WaitVar(0, 1) != 0 {
+		t.Error("zero utilization should have zero waiting")
+	}
+}
+
+// The P-K ladder sampler inside FastRouter must reproduce the M/D/1
+// moments: probe with widely spaced packets so FIFO clamping never binds.
+func TestFastRouterMatchesMD1Moments(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.3, 0.5} {
+		const n = 300000
+		in := periodicTimes(n, 10e-3)
+		fr, err := NewFastRouter(NewSliceStream(in), svc, ConstUtil(rho), 0, xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m stats.Moments
+		zeros := 0
+		for i := 0; i < n; i++ {
+			w := fr.Next() - in[i] - svc
+			if w < -1e-9 {
+				t.Fatalf("negative waiting %v", w)
+			}
+			if w < 1e-12 {
+				zeros++
+			}
+			m.Add(w)
+		}
+		if want := MD1WaitMean(rho, svc); math.Abs(m.Mean()-want)/want > 0.03 {
+			t.Errorf("rho=%v: mean wait = %v, want %v", rho, m.Mean(), want)
+		}
+		if want := MD1WaitVar(rho, svc); math.Abs(m.Variance()-want)/want > 0.05 {
+			t.Errorf("rho=%v: wait var = %v, want %v", rho, m.Variance(), want)
+		}
+		// P(W = 0) = 1 - rho: the sharp peak that keeps entropy detection
+		// alive under cross traffic.
+		if got, want := float64(zeros)/n, 1-rho; math.Abs(got-want) > 0.01 {
+			t.Errorf("rho=%v: P(W=0) = %v, want %v", rho, got, want)
+		}
+	}
+}
+
+// The exact Lindley router fed by Poisson cross traffic must agree with
+// the closed-form M/D/1 waiting moments (PASTA applies to the padded
+// probes only approximately, but 10 ms spacing samples the stationary
+// workload essentially independently).
+func TestExactRouterMatchesMD1(t *testing.T) {
+	const rho = 0.4
+	const n = 200000
+	in := periodicTimes(n, 10e-3)
+	cross, err := traffic.NewPoisson(rho/svc, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(NewSliceStream(in), cross, svc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m stats.Moments
+	for i := 0; i < n; i++ {
+		w := r.Next() - in[i] - svc
+		if w < -1e-9 {
+			t.Fatalf("negative waiting %v", w)
+		}
+		m.Add(w)
+	}
+	if want := MD1WaitMean(rho, svc); math.Abs(m.Mean()-want)/want > 0.05 {
+		t.Errorf("mean wait = %v, want %v", m.Mean(), want)
+	}
+	if want := MD1WaitVar(rho, svc); math.Abs(m.Variance()-want)/want > 0.10 {
+		t.Errorf("wait var = %v, want %v", m.Variance(), want)
+	}
+}
+
+// Fast and exact routers must produce statistically equivalent padded
+// delay distributions — the license to use FastRouter in the big sweeps.
+func TestFastVsExactRouterDistributions(t *testing.T) {
+	const rho = 0.3
+	const n = 100000
+	in := periodicTimes(n, 10e-3)
+
+	fr, err := NewFastRouter(NewSliceStream(in), svc, ConstUtil(rho), 0, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := traffic.NewPoisson(rho/svc, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewRouter(NewSliceStream(in), cross, svc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := make([]float64, n)
+	we := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wf[i] = fr.Next() - in[i]
+		we[i] = ex.Next() - in[i]
+	}
+	d, err := stats.KSDistance(wf, we)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.02 {
+		t.Errorf("KS distance between fast and exact delays = %v", d)
+	}
+}
+
+// Independent cross-validation: an event-heap implementation of the same
+// FIFO queue (via internal/sim) must agree with the Lindley router almost
+// exactly on identical arrival sequences.
+func TestRouterAgreesWithEventDrivenSim(t *testing.T) {
+	const rho = 0.35
+	const n = 5000
+	in := periodicTimes(n, 10e-3)
+	horizon := in[n-1] + 1
+
+	// Pre-generate one shared cross arrival sequence.
+	crossRng := xrand.New(5)
+	var crossTimes []float64
+	for t0 := crossRng.Exp(svc / rho); t0 < horizon; t0 += crossRng.Exp(svc / rho) {
+		crossTimes = append(crossTimes, t0)
+	}
+
+	// Event-driven queue on the sim heap.
+	s := sim.New()
+	var freeAt float64
+	tagged := make([]float64, 0, n)
+	arrive := func(tag bool) func() {
+		return func() {
+			start := s.Now()
+			if freeAt > start {
+				start = freeAt
+			}
+			dep := start + svc
+			freeAt = dep
+			if tag {
+				tagged = append(tagged, dep)
+			}
+		}
+	}
+	for _, ct := range crossTimes {
+		if err := s.At(ct, arrive(false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range in {
+		if err := s.At(it, arrive(true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+
+	// Lindley router over a replayed copy of the same cross sequence.
+	replay := &sliceSource{times: crossTimes}
+	r, err := NewRouter(NewSliceStream(in), replay, svc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := r.Next()
+		if math.Abs(got-tagged[i]) > 1e-9 {
+			t.Fatalf("packet %d: lindley %v vs event-driven %v", i, got, tagged[i])
+		}
+	}
+}
+
+// sliceSource replays absolute times as a traffic.Source (gap sequence).
+type sliceSource struct {
+	times []float64
+	i     int
+	last  float64
+}
+
+func (s *sliceSource) Next() float64 {
+	if s.i >= len(s.times) {
+		return math.Inf(1)
+	}
+	gap := s.times[s.i] - s.last
+	s.last = s.times[s.i]
+	s.i++
+	return gap
+}
+
+func (s *sliceSource) Rate() float64 { return 0 }
+
+func TestRouterNoCrossIsPureDelay(t *testing.T) {
+	in := periodicTimes(100, 10e-3)
+	r, err := NewRouter(NewSliceStream(in), nil, svc, 5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got := r.Next()
+		want := in[i] + svc + 5e-3
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("packet %d: %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestFastRouterFIFONeverReorders(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		// Bursty upstream: some gaps shorter than the service time.
+		times := make([]float64, 300)
+		tt := 0.0
+		for i := range times {
+			tt += r.Exp(svc / 2)
+			times[i] = tt
+		}
+		fr, err := NewFastRouter(NewSliceStream(times), svc, ConstUtil(0.5), 0, r.Split())
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for i := 0; i < 300; i++ {
+			out := fr.Next()
+			if out < prev+svc-1e-15 {
+				return false
+			}
+			prev = out
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	up := NewSliceStream(periodicTimes(1, 1))
+	if _, err := NewFastRouter(nil, svc, ConstUtil(0), 0, xrand.New(1)); err == nil {
+		t.Error("nil upstream")
+	}
+	if _, err := NewFastRouter(up, 0, ConstUtil(0), 0, xrand.New(1)); err == nil {
+		t.Error("zero service")
+	}
+	if _, err := NewFastRouter(up, svc, nil, 0, xrand.New(1)); err == nil {
+		t.Error("nil util")
+	}
+	if _, err := NewFastRouter(up, svc, ConstUtil(0), -1, xrand.New(1)); err == nil {
+		t.Error("negative prop")
+	}
+	if _, err := NewFastRouter(up, svc, ConstUtil(0), 0, nil); err == nil {
+		t.Error("nil rng")
+	}
+	if _, err := NewRouter(nil, nil, svc, 0); err == nil {
+		t.Error("router nil upstream")
+	}
+	if _, err := NewRouter(up, nil, -1, 0); err == nil {
+		t.Error("router bad service")
+	}
+	if _, err := NewLossyTap(up, 1.0, xrand.New(1)); err == nil {
+		t.Error("loss prob 1")
+	}
+	if _, err := NewLossyTap(up, 0.5, nil); err == nil {
+		t.Error("lossy nil rng")
+	}
+	if _, err := NewQuantizer(up, 0); err == nil {
+		t.Error("zero resolution")
+	}
+	if _, err := NewPath(nil, nil, nil); err == nil {
+		t.Error("path nil upstream")
+	}
+	if _, err := NewPath(up, UniformHops(1, svc, ConstUtil(0.1), 0), nil); err == nil {
+		t.Error("path nil rng")
+	}
+}
+
+func TestPathZeroHopsPassThrough(t *testing.T) {
+	up := NewSliceStream(periodicTimes(5, 1))
+	p, err := NewPath(up, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Next() != 1 {
+		t.Error("zero-hop path should be the upstream itself")
+	}
+}
+
+// More hops accumulate more queueing noise: PIAT variance grows with path
+// length — the paper's campus vs WAN contrast.
+func TestPathNoiseGrowsWithHops(t *testing.T) {
+	const n = 60000
+	variance := func(hops int) float64 {
+		up := NewSliceStream(periodicTimes(n+1, 10e-3))
+		p, err := NewPath(up, UniformHops(hops, svc, ConstUtil(0.2), 1e-3), xrand.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Variance(NewDiffer(p).PIATs(n))
+	}
+	v1, v5, v15 := variance(1), variance(5), variance(15)
+	if !(v1 < v5 && v5 < v15) {
+		t.Errorf("PIAT variance not increasing with hops: %v %v %v", v1, v5, v15)
+	}
+}
+
+func TestDiurnalUtil(t *testing.T) {
+	d := traffic.Diurnal{Trough: 0.05, Peak: 0.35, TroughHour: 3}
+	u := DiurnalUtil(d, 0) // run starts at midnight
+	if got := u(3 * 3600); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("u(3h) = %v", got)
+	}
+	if got := u(15 * 3600); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("u(15h) = %v", got)
+	}
+	u2 := DiurnalUtil(d, 3) // run starts at 3 AM
+	if got := u2(0); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("start-hour offset broken: %v", got)
+	}
+}
+
+func TestDifferAndPIATs(t *testing.T) {
+	d := NewDiffer(NewSliceStream([]float64{1, 1.5, 2.5, 4}))
+	got := d.PIATs(3)
+	want := []float64{0.5, 1, 1.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("PIATs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLossyTapRate(t *testing.T) {
+	const n = 100000
+	in := periodicTimes(n, 10e-3)
+	lt, err := NewLossyTap(NewSliceStream(in), 0.2, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	prev := -1.0
+	for {
+		tt := lt.Next()
+		if tt >= in[n-1000] { // stop before the slice runs out
+			break
+		}
+		if tt <= prev {
+			t.Fatal("lossy tap reordered output")
+		}
+		prev = tt
+		kept++
+	}
+	rate := float64(kept) / float64(n-1000)
+	if math.Abs(rate-0.8) > 0.01 {
+		t.Errorf("survivor rate = %v, want ~0.8", rate)
+	}
+}
+
+func TestLossyTapZeroLossPassThrough(t *testing.T) {
+	in := periodicTimes(10, 1)
+	lt, err := NewLossyTap(NewSliceStream(in), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if lt.Next() != in[i] {
+			t.Fatal("zero-loss tap must pass through")
+		}
+	}
+}
+
+func TestQuantizer(t *testing.T) {
+	q, err := NewQuantizer(NewSliceStream([]float64{0.0000014, 0.0000026, 0.0000026}), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1e-6, 2e-6, 2e-6}
+	for i := range want {
+		if got := q.Next(); math.Abs(got-want[i]) > 1e-18 {
+			t.Fatalf("quantized[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestSliceStreamOrder(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	sort.Float64s(xs)
+	s := NewSliceStream(xs)
+	if s.Next() != 1 || s.Next() != 2 || s.Next() != 3 {
+		t.Error("slice stream order broken")
+	}
+}
+
+func BenchmarkFastRouterNext(b *testing.B) {
+	in := make([]float64, b.N+1)
+	for i := range in {
+		in[i] = float64(i) * 10e-3
+	}
+	fr, err := NewFastRouter(NewSliceStream(in), svc, ConstUtil(0.4), 0, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Next()
+	}
+}
+
+func BenchmarkExactRouterNext(b *testing.B) {
+	in := make([]float64, b.N+1)
+	for i := range in {
+		in[i] = float64(i) * 10e-3
+	}
+	cross, err := traffic.NewPoisson(0.4/svc, xrand.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRouter(NewSliceStream(in), cross, svc, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Next()
+	}
+}

@@ -1,0 +1,130 @@
+// Package sim is a minimal discrete-event simulator: a time-ordered event
+// queue with deterministic FIFO tie-breaking. It is the ground-truth
+// substrate for the gateway + network models; the streaming fast paths in
+// internal/gateway and internal/netem are validated against DES runs.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // insertion order; breaks time ties deterministically
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator advances virtual time (float64 seconds) through scheduled
+// events. The zero value is not usable; call New.
+type Simulator struct {
+	now    float64
+	queue  eventHeap
+	seq    uint64
+	steps  uint64
+	maxLen int
+}
+
+// New creates a simulator starting at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past or at
+// a non-finite time is an error. Events at equal times run in scheduling
+// order.
+func (s *Simulator) At(t float64, fn func()) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return errors.New("sim: non-finite event time")
+	}
+	if t < s.now {
+		return errors.New("sim: cannot schedule event in the past")
+	}
+	if fn == nil {
+		return errors.New("sim: nil event callback")
+	}
+	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+	if len(s.queue) > s.maxLen {
+		s.maxLen = len(s.queue)
+	}
+	return nil
+}
+
+// After schedules fn to run d seconds from now. Negative delays are an
+// error.
+func (s *Simulator) After(d float64, fn func()) error {
+	if d < 0 {
+		return errors.New("sim: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for len(s.queue) > 0 {
+		s.step()
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (s *Simulator) RunUntil(t float64) {
+	for len(s.queue) > 0 && s.queue[0].time <= t {
+		s.step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunSteps executes at most n events; it returns the number executed.
+func (s *Simulator) RunSteps(n int) int {
+	done := 0
+	for done < n && len(s.queue) > 0 {
+		s.step()
+		done++
+	}
+	return done
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// MaxQueueLen returns the high-water mark of the event queue, useful for
+// sizing sanity checks in long runs.
+func (s *Simulator) MaxQueueLen() int { return s.maxLen }
+
+func (s *Simulator) step() {
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.time
+	s.steps++
+	e.fn()
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"linkpad/internal/xrand"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	r := xrand.New(1)
+	var fired []float64
+	for i := 0; i < 1000; i++ {
+		tt := r.Float64() * 100
+		if err := s.At(tt, func() { fired = append(fired, s.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if len(fired) != 1000 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("events fired out of order")
+	}
+	if s.Steps() != 1000 {
+		t.Errorf("steps = %d", s.Steps())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		if err := s.At(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			if err := s.After(0.5, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.At(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if count != 100 {
+		t.Errorf("chain count = %d", count)
+	}
+	if math.Abs(s.Now()-49.5) > 1e-12 {
+		t.Errorf("final time = %v", s.Now())
+	}
+}
+
+func TestSchedulingErrors(t *testing.T) {
+	s := New()
+	if err := s.At(math.NaN(), func() {}); err == nil {
+		t.Error("want error for NaN time")
+	}
+	if err := s.At(math.Inf(1), func() {}); err == nil {
+		t.Error("want error for infinite time")
+	}
+	if err := s.At(1, nil); err == nil {
+		t.Error("want error for nil callback")
+	}
+	if err := s.After(-1, func() {}); err == nil {
+		t.Error("want error for negative delay")
+	}
+	if err := s.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if err := s.At(4, func() {}); err == nil {
+		t.Error("want error for past scheduling")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3, 4, 5} {
+		tt := tt
+		if err := s.At(tt, func() { fired = append(fired, tt) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Errorf("fired %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Errorf("now = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.RunUntil(10)
+	if len(fired) != 5 || s.Now() != 10 {
+		t.Errorf("fired %v now %v", fired, s.Now())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 10; i++ {
+		if err := s.At(float64(i), func() { n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.RunSteps(4); got != 4 || n != 4 {
+		t.Errorf("RunSteps = %d, n = %d", got, n)
+	}
+	if got := s.RunSteps(100); got != 6 || n != 10 {
+		t.Errorf("RunSteps = %d, n = %d", got, n)
+	}
+}
+
+func TestClockNeverGoesBackwards(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New()
+		r := xrand.New(seed)
+		last := -1.0
+		ok := true
+		for i := 0; i < 200; i++ {
+			if err := s.At(r.Float64()*10, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+				// events may add more events in the future
+				if r.Bernoulli(0.3) {
+					_ = s.After(r.Float64(), func() {
+						if s.Now() < last {
+							ok = false
+						}
+						last = s.Now()
+					})
+				}
+			}); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxQueueLen(t *testing.T) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		if err := s.At(float64(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if s.MaxQueueLen() != 64 {
+		t.Errorf("high-water mark = %d", s.MaxQueueLen())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New()
+	r := xrand.New(1)
+	base := 0.0
+	for i := 0; i < b.N; i++ {
+		if err := s.At(base+r.Float64(), func() {}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			s.Run()
+			base = s.Now()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,294 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"linkpad/internal/stats"
+	"linkpad/internal/xrand"
+)
+
+// measureRate draws n gaps and returns packets per second.
+func measureRate(s Source, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total += s.Next()
+	}
+	return float64(n) / total
+}
+
+func TestPoissonRate(t *testing.T) {
+	for _, rate := range []float64{10, 40, 1000} {
+		s, err := NewPoisson(rate, xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := measureRate(s, 200000); math.Abs(got-rate)/rate > 0.02 {
+			t.Errorf("rate %v: measured %v", rate, got)
+		}
+		if s.Rate() != rate {
+			t.Errorf("Rate() = %v", s.Rate())
+		}
+	}
+}
+
+func TestPoissonGapCV(t *testing.T) {
+	// Exponential gaps: coefficient of variation = 1.
+	s, err := NewPoisson(40, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]float64, 100000)
+	for i := range gaps {
+		gaps[i] = s.Next()
+	}
+	sum := stats.Summarize(gaps)
+	cv := sum.StdDev / sum.Mean
+	if math.Abs(cv-1) > 0.02 {
+		t.Errorf("Poisson gap CV = %v, want 1", cv)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0, xrand.New(1)); err == nil {
+		t.Error("want error for zero rate")
+	}
+	if _, err := NewPoisson(10, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestCBRDeterministic(t *testing.T) {
+	s, err := NewCBR(40, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if g := s.Next(); g != 0.025 {
+			t.Fatalf("gap = %v, want 0.025", g)
+		}
+	}
+}
+
+func TestCBRJitterBounds(t *testing.T) {
+	s, err := NewCBR(40, 1e-3, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		g := s.Next()
+		if g < 0.025-5e-4 || g > 0.025+5e-4 {
+			t.Fatalf("jittered gap out of range: %v", g)
+		}
+	}
+	if got := measureRate(s, 100000); math.Abs(got-40)/40 > 0.01 {
+		t.Errorf("jittered CBR rate = %v", got)
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	if _, err := NewCBR(0, 0, nil); err == nil {
+		t.Error("want error for zero rate")
+	}
+	if _, err := NewCBR(40, -1, nil); err == nil {
+		t.Error("want error for negative jitter")
+	}
+	if _, err := NewCBR(40, 0.05, xrand.New(1)); err == nil {
+		t.Error("want error for jitter >= interval")
+	}
+	if _, err := NewCBR(40, 1e-3, nil); err == nil {
+		t.Error("want error for nil rng with jitter")
+	}
+}
+
+func TestOnOffLongRunRate(t *testing.T) {
+	// Peak 100 pps, on 50% of the time => 50 pps average.
+	s, err := NewOnOff(100, 0.5, 0.5, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 50.0; math.Abs(s.Rate()-want) > 1e-12 {
+		t.Errorf("Rate() = %v", s.Rate())
+	}
+	if got := measureRate(s, 200000); math.Abs(got-50)/50 > 0.05 {
+		t.Errorf("measured rate = %v, want ~50", got)
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	// On-off gaps must be over-dispersed relative to Poisson at the same
+	// average rate (CV > 1).
+	s, err := NewOnOff(200, 0.1, 0.4, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]float64, 100000)
+	for i := range gaps {
+		gaps[i] = s.Next()
+	}
+	sum := stats.Summarize(gaps)
+	if cv := sum.StdDev / sum.Mean; cv < 1.2 {
+		t.Errorf("on-off CV = %v, want > 1.2", cv)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	if _, err := NewOnOff(0, 1, 1, xrand.New(1)); err == nil {
+		t.Error("want error for zero peak")
+	}
+	if _, err := NewOnOff(10, 0, 1, xrand.New(1)); err == nil {
+		t.Error("want error for zero on-time")
+	}
+	if _, err := NewOnOff(10, 1, 1, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestTrainRateAndBurstiness(t *testing.T) {
+	s, err := NewTrain(1000, 5, 10e-6, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Rate()-1000) > 1e-9 {
+		t.Errorf("Rate() = %v", s.Rate())
+	}
+	gaps := make([]float64, 200000)
+	for i := range gaps {
+		gaps[i] = s.Next()
+	}
+	sum := stats.Summarize(gaps)
+	rate := 1 / sum.Mean
+	if math.Abs(rate-1000)/1000 > 0.05 {
+		t.Errorf("measured packet rate = %v", rate)
+	}
+	if cv := sum.StdDev / sum.Mean; cv < 1.5 {
+		t.Errorf("train CV = %v, want > 1.5 (burstier than Poisson)", cv)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := NewTrain(0, 5, 1e-6, xrand.New(1)); err == nil {
+		t.Error("want error for zero rate")
+	}
+	if _, err := NewTrain(100, 0.5, 1e-6, xrand.New(1)); err == nil {
+		t.Error("want error for meanLen < 1")
+	}
+	if _, err := NewTrain(100, 5, 1e-6, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestAllGapsNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		ps, err := NewPoisson(40, r.Split())
+		if err != nil {
+			return false
+		}
+		oo, err := NewOnOff(100, 0.2, 0.3, r.Split())
+		if err != nil {
+			return false
+		}
+		tr, err := NewTrain(500, 4, 5e-6, r.Split())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if ps.Next() < 0 || oo.Next() < 0 || tr.Next() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Trough: 0.05, Peak: 0.35, TroughHour: 3}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.At(3); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("At(trough) = %v", got)
+	}
+	if got := d.At(15); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("At(peak) = %v", got)
+	}
+	// Wrapping: hour 27 == hour 3.
+	if math.Abs(d.At(27)-d.At(3)) > 1e-12 {
+		t.Error("profile does not wrap at 24h")
+	}
+	// Monotone rise from trough to peak.
+	prev := d.At(3)
+	for h := 3.5; h <= 15; h += 0.5 {
+		u := d.At(h)
+		if u < prev-1e-12 {
+			t.Fatalf("not monotone rising at hour %v", h)
+		}
+		prev = u
+	}
+}
+
+func TestDiurnalBounds(t *testing.T) {
+	d := Diurnal{Trough: 0.02, Peak: 0.10, TroughHour: 4}
+	f := func(h float64) bool {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			return true
+		}
+		u := d.At(h)
+		return u >= d.Trough-1e-12 && u <= d.Peak+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	bad := []Diurnal{
+		{Trough: -0.1, Peak: 0.2},
+		{Trough: 0.3, Peak: 0.2},
+		{Trough: 0.3, Peak: 1.0},
+		{Trough: 0.1, Peak: 0.2, TroughHour: 24},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", d)
+		}
+	}
+}
+
+func TestConstantProfile(t *testing.T) {
+	c := Constant(0.25)
+	for _, h := range []float64{0, 6, 12, 23.9} {
+		if got := c.At(h); math.Abs(got-0.25) > 1e-12 {
+			t.Errorf("Constant.At(%v) = %v", h, got)
+		}
+	}
+}
+
+func BenchmarkPoissonNext(b *testing.B) {
+	s, err := NewPoisson(40, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkOnOffNext(b *testing.B) {
+	s, err := NewOnOff(100, 0.2, 0.3, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Next()
+	}
+	_ = sink
+}

@@ -1,0 +1,186 @@
+// Package linkpad is a reproduction, as a reusable Go library, of
+// "Analytical and Empirical Analysis of Countermeasures to Traffic
+// Analysis Attacks" (Fu, Graham, Bettati, Zhao, Xuan — ICPP 2003).
+//
+// The library models a complete link-padding deployment: payload traffic
+// entering a sender security gateway whose timer (constant-interval CIT or
+// variable-interval VIT) emits one encrypted constant-size packet per
+// fire — payload if queued, dummy otherwise — plus the unprotected router
+// path an adversary can tap. The adversary applies the paper's statistical
+// attack: sample mean, sample variance, or sample entropy of packet
+// inter-arrival times, classified with Bayes rules trained on Gaussian
+// kernel density estimates. The security metric throughout is the
+// detection rate: the probability the adversary correctly identifies the
+// payload rate.
+//
+// Three layers are exposed:
+//
+//   - System / Config: declaratively describe a deployment and run
+//     simulated attacks against it (RunAttack), predict detection rates
+//     with the paper's closed-form theorems (TheoreticalDetectionRate),
+//     and solve the design problem of choosing σ_T (DesignVIT,
+//     CalibrateVIT).
+//   - Features and theorems: the analytic detection-rate formulas are
+//     re-exported (DetectionRateMean/Variance/Entropy, SampleSize*).
+//   - Experiments: RunExperiment regenerates every figure of the paper's
+//     evaluation section by name (see ExperimentNames).
+//
+// The package root is a facade over the internal implementation packages;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package linkpad
+
+import (
+	"linkpad/internal/analytic"
+	"linkpad/internal/core"
+	"linkpad/internal/experiment"
+	"linkpad/internal/sizes"
+)
+
+// Version identifies this release of the reproduction.
+const Version = "1.0.0"
+
+// System assembly (see internal/core).
+type (
+	// System is a validated link-padding deployment description.
+	System = core.System
+	// Config describes a deployment: timer policy, gateway jitter model,
+	// payload rate hypotheses, router path, and tap imperfections.
+	Config = core.Config
+	// Rate is one payload-rate hypothesis.
+	Rate = core.Rate
+	// HopSpec describes one router of the unprotected path.
+	HopSpec = core.HopSpec
+	// PayloadModel selects the payload arrival process.
+	PayloadModel = core.PayloadModel
+	// AttackConfig parameterizes a simulated adversary.
+	AttackConfig = core.AttackConfig
+	// AttackResult reports a simulated attack: measured detection rate,
+	// confusion matrix, and the closed-form prediction at the measured
+	// variance ratio.
+	AttackResult = core.AttackResult
+)
+
+// Payload models.
+const (
+	PayloadPoisson = core.PayloadPoisson
+	PayloadCBR     = core.PayloadCBR
+	PayloadOnOff   = core.PayloadOnOff
+)
+
+// NewSystem validates cfg and returns a System.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultLabConfig returns the paper's §5 baseline configuration: CIT
+// padding with τ = 10 ms, payload at 10 or 40 pps with equal priors, and
+// the adversary tapping the sender gateway's output.
+func DefaultLabConfig() Config { return core.DefaultLabConfig() }
+
+// Feature identifies the adversary's statistic.
+type Feature = analytic.Feature
+
+// The three feature statistics studied by the paper, plus the
+// interquartile-range extension (empirical only; no closed-form theorem).
+const (
+	FeatureMean     = analytic.FeatureMean
+	FeatureVariance = analytic.FeatureVariance
+	FeatureEntropy  = analytic.FeatureEntropy
+	FeatureIQR      = analytic.FeatureIQR
+)
+
+// DetectionRateMean returns Theorem 1's detection rate for the
+// sample-mean feature at PIAT variance ratio r (independent of sample
+// size; exactly 0.5 at r = 1).
+func DetectionRateMean(r float64) (float64, error) {
+	return analytic.DetectionRateMean(r)
+}
+
+// DetectionRateVariance returns Theorem 2's detection rate for the
+// sample-variance feature at variance ratio r and sample size n.
+func DetectionRateVariance(r float64, n int) (float64, error) {
+	return analytic.DetectionRateVariance(r, n)
+}
+
+// DetectionRateEntropy returns Theorem 3's detection rate for the
+// sample-entropy feature at variance ratio r and sample size n.
+func DetectionRateEntropy(r float64, n int) (float64, error) {
+	return analytic.DetectionRateEntropy(r, n)
+}
+
+// SampleSizeVariance returns the sample size needed for the variance
+// feature to reach detection rate p at variance ratio r (the paper's
+// Fig. 5b curve; +Inf at r = 1).
+func SampleSizeVariance(r, p float64) (float64, error) {
+	return analytic.SampleSizeVariance(r, p)
+}
+
+// SampleSizeEntropy returns the sample size needed for the entropy
+// feature to reach detection rate p at variance ratio r.
+func SampleSizeEntropy(r, p float64) (float64, error) {
+	return analytic.SampleSizeEntropy(r, p)
+}
+
+// Experiment tables (see internal/experiment).
+type (
+	// ExperimentTable is one experiment's result series.
+	ExperimentTable = experiment.Table
+	// ExperimentOptions control Monte Carlo effort and seeding.
+	ExperimentOptions = experiment.Options
+)
+
+// RunExperiment regenerates one of the paper's figures by ID (e.g.
+// "fig4b"); see ExperimentNames for the full set.
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiment.Run(id, o)
+}
+
+// ExperimentNames lists every reproducible figure and extension study.
+func ExperimentNames() []string { return experiment.Names() }
+
+// Packet-size camouflage (the paper's variable-size extension, ref. [7];
+// see internal/sizes).
+type (
+	// AdaptiveSpec configures the Timmerman adaptive-masking baseline.
+	AdaptiveSpec = core.AdaptiveSpec
+	// MixSpec configures the Chaum batch-of-K baseline.
+	MixSpec = core.MixSpec
+	// SizeProfile is an application packet-size distribution.
+	SizeProfile = sizes.Profile
+	// SizePadder maps raw packet sizes to wire sizes.
+	SizePadder = sizes.Padder
+	// SizeAttackConfig parameterizes the size-classification attack.
+	SizeAttackConfig = sizes.AttackConfig
+	// SizeAttackResult reports a size-classification attack.
+	SizeAttackResult = sizes.Result
+)
+
+// NewSizeProfile creates a packet-size distribution.
+func NewSizeProfile(szs []int, probs []float64) (*SizeProfile, error) {
+	return sizes.NewProfile(szs, probs)
+}
+
+// NoSizePad transmits raw packet sizes: the insecure baseline.
+func NoSizePad() SizePadder { return sizes.NoPad{} }
+
+// NewConstantSizePad pads every packet to a fixed wire size — exact size
+// secrecy at a byte cost.
+func NewConstantSizePad(target int) (SizePadder, error) {
+	return sizes.NewConstantPad(target)
+}
+
+// NewBucketSizePad rounds packets up to bucket boundaries.
+func NewBucketSizePad(buckets []int) (SizePadder, error) {
+	return sizes.NewBucketPad(buckets)
+}
+
+// SizeOverhead returns the byte inflation of a padding scheme on a
+// profile.
+func SizeOverhead(p *SizeProfile, pd SizePadder) float64 {
+	return sizes.Overhead(p, pd)
+}
+
+// DetectBySize runs the size-classification attack against padded
+// application profiles.
+func DetectBySize(labels []string, profiles []*SizeProfile, pd SizePadder, cfg SizeAttackConfig) (*SizeAttackResult, error) {
+	return sizes.Detect(labels, profiles, pd, cfg)
+}
