@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test bench bench-json clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full figure benchmarks (one iteration each) with allocation metrics.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -v
+
+# Append a timing trajectory record for every experiment to BENCH.json.
+bench-json:
+	$(GO) run ./cmd/linkpadsim -exp all -scale 0.5 -bench-json BENCH.json
+
+clean:
+	rm -f linkpad.test

@@ -22,8 +22,12 @@ const benchScale = 0.5
 
 // runFigure executes one experiment per benchmark iteration, logs the
 // table once, and reports the requested (column, row) cells as metrics.
+// Allocation metrics are reported so regressions in the allocation-free
+// attack pipeline (adversary.Features/Evaluate draw and reduce windows
+// with reusable buffers) are visible in plain benchmark output.
 func runFigure(b *testing.B, id string, metrics map[string][2]string) {
 	b.Helper()
+	b.ReportAllocs()
 	var tbl *linkpad.ExperimentTable
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -56,7 +60,11 @@ func cell(tbl *linkpad.ExperimentTable, column, rowKey string) (float64, bool) {
 	colIdx := -1
 	for j, c := range tbl.Columns {
 		if c == column {
+			// First match wins: keep scanning no further so a duplicated
+			// column name cannot silently redirect the metric to the last
+			// occurrence.
 			colIdx = j
+			break
 		}
 	}
 	if colIdx < 0 || len(tbl.Rows) == 0 {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"linkpad/internal/experiment"
+)
+
+// benchRecord is one -bench-json run: wall-clock per experiment at the
+// given options, appended to the trajectory file so successive commits
+// (or machines) can be compared.
+type benchRecord struct {
+	Timestamp    string       `json:"timestamp"`
+	GoVersion    string       `json:"go_version"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	Scale        float64      `json:"scale"`
+	Seed         uint64       `json:"seed"`
+	Workers      int          `json:"workers"`
+	Experiments  []benchPoint `json:"experiments"`
+	TotalSeconds float64      `json:"total_seconds"`
+}
+
+// benchPoint times one experiment.
+type benchPoint struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Rows    int     `json:"rows"`
+}
+
+// runBenchJSON executes the selected experiments, timing each, and
+// appends the run to the JSON trajectory at path (created if absent).
+func runBenchJSON(ids []string, opts experiment.Options, path string) error {
+	rec := benchRecord{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      opts.Scale,
+		Seed:       opts.Seed,
+		Workers:    opts.Workers,
+	}
+	total := time.Duration(0)
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiment.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		elapsed := time.Since(start)
+		total += elapsed
+		rec.Experiments = append(rec.Experiments, benchPoint{
+			ID:      id,
+			Seconds: elapsed.Seconds(),
+			Rows:    len(tbl.Rows),
+		})
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, elapsed.Round(time.Millisecond))
+	}
+	rec.TotalSeconds = total.Seconds()
+
+	var trajectory []benchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		// A corrupt or foreign file is preserved rather than overwritten.
+		if err := json.Unmarshal(data, &trajectory); err != nil {
+			return fmt.Errorf("bench-json: %s exists but is not a bench trajectory: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	trajectory = append(trajectory, rec)
+	out, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total %v; trajectory appended to %s (%d runs)\n",
+		total.Round(time.Millisecond), path, len(trajectory))
+	return nil
+}

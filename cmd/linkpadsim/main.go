@@ -4,8 +4,9 @@
 // Usage:
 //
 //	linkpadsim -list
-//	linkpadsim -exp fig4b [-scale 1.0] [-seed 1] [-format text|csv]
+//	linkpadsim -exp fig4b [-scale 1.0] [-seed 1] [-format text|csv] [-workers N]
 //	linkpadsim -exp all -o results/
+//	linkpadsim -exp all -bench-json BENCH.json
 //
 // Each experiment prints the series the corresponding paper figure plots;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -31,12 +32,14 @@ func main() {
 
 func run() error {
 	var (
-		expID  = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list   = flag.Bool("list", false, "list available experiments")
-		scale  = flag.Float64("scale", 1.0, "Monte Carlo effort multiplier")
-		seed   = flag.Uint64("seed", 1, "master random seed")
-		format = flag.String("format", "text", "output format: text or csv")
-		outDir = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
+		expID     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		scale     = flag.Float64("scale", 1.0, "Monte Carlo effort multiplier")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		workers   = flag.Int("workers", 0, "parallelism (0 = all CPUs); results are identical at any width")
+		format    = flag.String("format", "text", "output format: text or csv")
+		outDir    = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
+		benchJSON = flag.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
 	)
 	flag.Parse()
 
@@ -45,6 +48,9 @@ func run() error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if *expID == "" && *benchJSON != "" {
+		*expID = "all"
 	}
 	if *expID == "" {
 		return fmt.Errorf("missing -exp (try -list)")
@@ -57,7 +63,11 @@ func run() error {
 	if *expID == "all" {
 		ids = experiment.Names()
 	}
-	opts := experiment.Options{Scale: *scale, Seed: *seed}
+	opts := experiment.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+
+	if *benchJSON != "" {
+		return runBenchJSON(ids, opts, *benchJSON)
+	}
 
 	for _, id := range ids {
 		start := time.Now()

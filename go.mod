@@ -1,0 +1,3 @@
+module linkpad
+
+go 1.24

@@ -81,18 +81,20 @@ func Window(src PIATSource, n int) []float64 {
 }
 
 // Features reads `windows` consecutive windows of size n from src and
-// returns their feature values.
+// returns their feature values. Each window is reduced in one streaming
+// pass through a reusable Pipeline, so beyond the returned slice the
+// steady state allocates nothing per window.
 func Features(src PIATSource, e Extractor, windows, n int) ([]float64, error) {
 	if windows <= 0 || n < 2 {
 		return nil, errors.New("adversary: need windows > 0 and n >= 2")
 	}
+	p, err := NewPipeline(e)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, windows)
-	buf := make([]float64, n)
 	for i := range out {
-		for j := range buf {
-			buf[j] = src.Next()
-		}
-		f, err := e.Extract(buf)
+		f, err := p.ExtractFrom(src, n)
 		if err != nil {
 			return nil, err
 		}
@@ -205,6 +207,9 @@ func (a *Attacker) ClassifyNext(src PIATSource) (int, error) {
 // Evaluate estimates the detection rate by classifying windowsPerClass
 // fresh windows from each class source (which must be independent of the
 // training streams, mirroring the paper's off-line/run-time split).
+// Windows are reduced through a reusable streaming pipeline — zero
+// allocations per window — and each class's feature batch is scored with
+// one ClassifyBatch call.
 func (a *Attacker) Evaluate(sources []PIATSource, windowsPerClass int) (*bayes.Confusion, error) {
 	if len(sources) != len(a.labels) {
 		return nil, errors.New("adversary: evaluation sources do not match training classes")
@@ -212,16 +217,26 @@ func (a *Attacker) Evaluate(sources []PIATSource, windowsPerClass int) (*bayes.C
 	if windowsPerClass <= 0 {
 		return nil, errors.New("adversary: need at least one evaluation window per class")
 	}
+	p, err := NewPipeline(a.extractor)
+	if err != nil {
+		return nil, err
+	}
 	cm := bayes.NewConfusion(a.labels)
+	feats := make([]float64, windowsPerClass)
+	var preds []int
 	for class, src := range sources {
 		if src == nil {
 			return nil, fmt.Errorf("adversary: nil evaluation source for class %q", a.labels[class])
 		}
-		for w := 0; w < windowsPerClass; w++ {
-			pred, err := a.ClassifyNext(src)
+		for w := range feats {
+			f, err := p.ExtractFrom(src, a.windowSize)
 			if err != nil {
 				return nil, err
 			}
+			feats[w] = f
+		}
+		preds = a.classifier.ClassifyBatch(feats, preds)
+		for _, pred := range preds {
 			cm.Add(class, pred)
 		}
 	}

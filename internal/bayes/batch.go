@@ -1,0 +1,152 @@
+package bayes
+
+import "math"
+
+// BatchDensity is a density that can evaluate a whole feature batch in
+// one call (kde.Grid and kde.KDE implement it). ClassifyBatch uses it to
+// score an evaluation set class-by-class without per-window overhead.
+type BatchDensity interface {
+	Density
+	PDFBatch(xs, out []float64) []float64
+}
+
+// LogDensity is a density exposing log evaluation; used by the batched
+// log-posterior path to avoid underflow far in the tails.
+type LogDensity interface {
+	LogPDF(x float64) float64
+}
+
+// pdfBatch evaluates class i's density over xs into out, using the batch
+// fast path when the density supports it.
+func (c *Classifier) pdfBatch(i int, xs, out []float64) []float64 {
+	if cap(out) < len(xs) {
+		out = make([]float64, len(xs))
+	}
+	out = out[:len(xs)]
+	if bd, ok := c.classes[i].Density.(BatchDensity); ok {
+		return bd.PDFBatch(xs, out)
+	}
+	d := c.classes[i].Density
+	for j, x := range xs {
+		out[j] = d.PDF(x)
+	}
+	return out
+}
+
+// ClassifyBatch classifies every feature value in s, writing class
+// indices into out (grown if needed) and returning it. The decision is
+// identical to calling Classify per element — same scores, same
+// lowest-index tie-breaking — but the densities are evaluated one class
+// at a time over the whole batch, which keeps the per-window cost at two
+// float compares per class.
+func (c *Classifier) ClassifyBatch(s []float64, out []int) []int {
+	if cap(out) < len(s) {
+		out = make([]int, len(s))
+	}
+	out = out[:len(s)]
+	if len(s) == 0 {
+		return out
+	}
+	best := make([]float64, len(s))
+	scores := make([]float64, len(s))
+	for j := range best {
+		best[j] = math.Inf(-1)
+		out[j] = 0
+	}
+	for i := range c.classes {
+		scores = c.pdfBatch(i, s, scores)
+		prior := c.classes[i].Prior
+		for j, p := range scores {
+			if score := prior * p; score > best[j] {
+				best[j], out[j] = score, i
+			}
+		}
+	}
+	return out
+}
+
+// PosteriorsBatch returns P(ω_i | s_j) for every class i and feature
+// value s_j, as one row of length NumClasses per feature value. Rows
+// where every class density is zero fall back to the priors, matching
+// Posteriors.
+func (c *Classifier) PosteriorsBatch(s []float64) [][]float64 {
+	m := len(c.classes)
+	post := make([][]float64, len(s))
+	flat := make([]float64, len(s)*m)
+	for j := range post {
+		post[j] = flat[j*m : (j+1)*m : (j+1)*m]
+	}
+	scores := make([]float64, len(s))
+	for i := range c.classes {
+		scores = c.pdfBatch(i, s, scores)
+		prior := c.classes[i].Prior
+		for j, p := range scores {
+			post[j][i] = prior * p
+		}
+	}
+	for j := range post {
+		var total float64
+		for _, v := range post[j] {
+			total += v
+		}
+		if total <= 0 {
+			for i := range c.classes {
+				post[j][i] = c.classes[i].Prior
+			}
+			continue
+		}
+		for i := range post[j] {
+			post[j][i] /= total
+		}
+	}
+	return post
+}
+
+// LogPosteriors returns log P(ω_i | s) for every class, computed in log
+// space with a log-sum-exp normalization so that feature values deep in
+// every class's tail (where linear densities underflow to zero) still
+// yield finite, correctly normalized log posteriors whenever the
+// densities expose LogPDF. If the value has zero density under every
+// class, the log priors are returned, matching Posteriors.
+func (c *Classifier) LogPosteriors(s float64) []float64 {
+	lp := make([]float64, len(c.classes))
+	for i, cl := range c.classes {
+		var ld float64
+		if l, ok := cl.Density.(LogDensity); ok {
+			ld = l.LogPDF(s)
+		} else {
+			ld = math.Log(cl.Density.PDF(s))
+		}
+		lp[i] = math.Log(cl.Prior) + ld
+	}
+	z := logSumExp(lp)
+	if math.IsInf(z, -1) {
+		for i, cl := range c.classes {
+			lp[i] = math.Log(cl.Prior)
+		}
+		return lp
+	}
+	for i := range lp {
+		lp[i] -= z
+	}
+	return lp
+}
+
+// logSumExp returns log Σ exp(xs[i]) with the usual max-shift for
+// numerical stability; -Inf when every term is -Inf.
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}

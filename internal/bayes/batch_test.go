@@ -1,0 +1,155 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"linkpad/internal/dist"
+	"linkpad/internal/xrand"
+)
+
+// trainedKDEClassifier builds a two-class grid-KDE classifier on
+// well-separated feature clouds.
+func trainedKDEClassifier(t *testing.T) (*Classifier, []float64) {
+	t.Helper()
+	r := xrand.New(31)
+	feat := make([][]float64, 2)
+	for i := range feat {
+		feat[i] = make([]float64, 200)
+		for j := range feat[i] {
+			feat[i][j] = r.Normal(float64(i), 0.4)
+		}
+	}
+	c, err := TrainKDE([]string{"a", "b"}, feat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Normal(0.5, 1.5)
+	}
+	return c, xs
+}
+
+func TestClassifyBatchMatchesScalar(t *testing.T) {
+	c, xs := trainedKDEClassifier(t)
+	preds := c.ClassifyBatch(xs, nil)
+	for i, x := range xs {
+		if want := c.Classify(x); preds[i] != want {
+			t.Fatalf("sample %d (%v): batch %d vs scalar %d", i, x, preds[i], want)
+		}
+	}
+	// Reusable output buffer and empty input.
+	preds2 := c.ClassifyBatch(xs[:10], preds)
+	if len(preds2) != 10 {
+		t.Fatalf("reused buffer length %d", len(preds2))
+	}
+	if got := c.ClassifyBatch(nil, nil); len(got) != 0 {
+		t.Fatal("empty batch should be empty")
+	}
+}
+
+// Ties must break toward the lowest class index in both paths.
+func TestClassifyBatchTieBreak(t *testing.T) {
+	n := dist.Normal{Mu: 0, Sigma: 1}
+	c, err := New(
+		Class{Label: "first", Prior: 1, Density: n},
+		Class{Label: "second", Prior: 1, Density: n},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := c.ClassifyBatch([]float64{-1, 0, 2}, nil)
+	for i, p := range preds {
+		if p != 0 {
+			t.Errorf("tie at sample %d broke to class %d, want 0", i, p)
+		}
+	}
+}
+
+func TestPosteriorsBatchMatchesScalar(t *testing.T) {
+	c, xs := trainedKDEClassifier(t)
+	rows := c.PosteriorsBatch(xs)
+	for j, x := range xs {
+		want := c.Posteriors(x)
+		for i := range want {
+			if math.Abs(rows[j][i]-want[i]) > 1e-14 {
+				t.Fatalf("sample %d class %d: batch %v vs scalar %v", j, i, rows[j][i], want[i])
+			}
+		}
+	}
+	// Out-of-support values fall back to the priors.
+	far := c.PosteriorsBatch([]float64{1e9})
+	if math.Abs(far[0][0]-0.5) > 1e-12 || math.Abs(far[0][1]-0.5) > 1e-12 {
+		t.Errorf("far-outside posteriors = %v, want priors", far[0])
+	}
+}
+
+func TestLogPosteriors(t *testing.T) {
+	c := twoGaussians(0, 1, 0, 2, 1, 1)
+	for _, x := range []float64{-3, 0, 1.5, 4} {
+		lp := c.LogPosteriors(x)
+		p := c.Posteriors(x)
+		for i := range p {
+			if math.Abs(math.Exp(lp[i])-p[i]) > 1e-12 {
+				t.Errorf("x=%v class %d: exp(logpost) %v vs post %v", x, i, math.Exp(lp[i]), p[i])
+			}
+		}
+	}
+	// Far outside a KDE's support every log density is -Inf: log priors.
+	ck, _ := trainedKDEClassifier(t)
+	lp := ck.LogPosteriors(1e9)
+	for i, v := range lp {
+		if math.Abs(v-math.Log(0.5)) > 1e-12 {
+			t.Errorf("class %d far-outside log posterior = %v, want log(1/2)", i, v)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := logSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Errorf("all -Inf = %v", got)
+	}
+	// log(e^0 + e^0) = log 2.
+	if got := logSumExp([]float64{0, 0}); math.Abs(got-math.Log(2)) > 1e-15 {
+		t.Errorf("logSumExp(0,0) = %v", got)
+	}
+	// Huge negative magnitudes don't underflow the result.
+	if got := logSumExp([]float64{-1000, -1000}); math.Abs(got-(-1000+math.Log(2))) > 1e-12 {
+		t.Errorf("logSumExp(-1000,-1000) = %v", got)
+	}
+}
+
+// Grid-backed training must agree with exact-KDE training on essentially
+// every classification: the decision boundaries shift by at most the
+// ~1e-4 relative grid error.
+func TestTrainKDEGridMatchesExact(t *testing.T) {
+	r := xrand.New(41)
+	feat := make([][]float64, 2)
+	for i := range feat {
+		feat[i] = make([]float64, 150)
+		for j := range feat[i] {
+			feat[i][j] = r.Normal(10e-3+float64(i)*1e-5, 4e-6)
+		}
+	}
+	grid, err := TrainKDE([]string{"l", "h"}, feat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := TrainKDEExact([]string{"l", "h"}, feat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disagreements int
+	const samples = 2000
+	for i := 0; i < samples; i++ {
+		x := r.Normal(10.5e-3, 8e-6)
+		if grid.Classify(x) != exact.Classify(x) {
+			disagreements++
+		}
+	}
+	// Only values within ~1e-4 of the decision threshold can flip.
+	if disagreements > samples/100 {
+		t.Errorf("%d/%d grid-vs-exact classification disagreements", disagreements, samples)
+	}
+}

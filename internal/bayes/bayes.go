@@ -154,7 +154,22 @@ func (c *Classifier) ErrorRate(lo, hi float64, n int) (float64, error) {
 // class fitted to that class's feature samples, with the given priors
 // (nil means equal priors). labels[i], features[i] and priors[i] describe
 // class i.
+//
+// The class densities are precomputed log-density grids (kde.Grid) so
+// run-time classification costs O(1) per density query instead of a
+// kernel sum; the exact KDE stays reachable via Grid.Exact, and
+// TrainKDEExact keeps the kernel-sum densities for reference runs.
 func TrainKDE(labels []string, features [][]float64, priors []float64) (*Classifier, error) {
+	return trainKDE(labels, features, priors, false)
+}
+
+// TrainKDEExact is TrainKDE with the exact kernel-sum densities: the
+// reference path the grid is validated against.
+func TrainKDEExact(labels []string, features [][]float64, priors []float64) (*Classifier, error) {
+	return trainKDE(labels, features, priors, true)
+}
+
+func trainKDE(labels []string, features [][]float64, priors []float64, exact bool) (*Classifier, error) {
 	if len(labels) != len(features) {
 		return nil, errors.New("bayes: labels/features length mismatch")
 	}
@@ -171,7 +186,11 @@ func TrainKDE(labels []string, features [][]float64, priors []float64) (*Classif
 		if priors != nil {
 			p = priors[i]
 		}
-		classes[i] = Class{Label: labels[i], Prior: p, Density: k}
+		var d Density = k
+		if !exact {
+			d = k.Grid()
+		}
+		classes[i] = Class{Label: labels[i], Prior: p, Density: d}
 	}
 	return New(classes...)
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"linkpad/internal/analytic"
+)
+
+// RunAttackSet must produce, per feature, exactly the result of a
+// standalone RunAttack: both draw the same per-trial stream replicas, so
+// sharing the simulated windows across features is purely an optimization.
+func TestRunAttackSetMatchesSingleRuns(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := AttackConfig{
+		WindowSize:   300,
+		TrainWindows: 40,
+		EvalWindows:  40,
+	}
+	features := []analytic.Feature{
+		analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy,
+	}
+	set, err := sys.RunAttackSet(attack, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != len(features) {
+		t.Fatalf("got %d results for %d features", len(set), len(features))
+	}
+	for i, f := range features {
+		single := attack
+		single.Feature = f
+		res, err := sys.RunAttack(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set[i].Feature != f {
+			t.Errorf("result %d reports feature %v, want %v", i, set[i].Feature, f)
+		}
+		if set[i].DetectionRate != res.DetectionRate {
+			t.Errorf("%v: set detection %v vs single %v", f, set[i].DetectionRate, res.DetectionRate)
+		}
+		if set[i].EmpiricalR != res.EmpiricalR {
+			t.Errorf("%v: set r %v vs single %v", f, set[i].EmpiricalR, res.EmpiricalR)
+		}
+		if set[i].TheoryDetectionRate != res.TheoryDetectionRate {
+			t.Errorf("%v: set theory %v vs single %v", f, set[i].TheoryDetectionRate, res.TheoryDetectionRate)
+		}
+	}
+}
+
+// Attack results must be identical at any trial-parallelism width.
+func TestRunAttackWorkerInvariance(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := AttackConfig{
+		Feature:      analytic.FeatureEntropy,
+		WindowSize:   300,
+		TrainWindows: 30,
+		EvalWindows:  30,
+	}
+	ref, err := sys.RunAttack(func() AttackConfig { c := base; c.Workers = 1; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+		c := base
+		c.Workers = workers
+		got, err := sys.RunAttack(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DetectionRate != ref.DetectionRate || got.EmpiricalR != ref.EmpiricalR {
+			t.Fatalf("workers=%d: detection %v / r %v differ from reference %v / %v",
+				workers, got.DetectionRate, got.EmpiricalR, ref.DetectionRate, ref.EmpiricalR)
+		}
+		for tc := 0; tc < 2; tc++ {
+			for pc := 0; pc < 2; pc++ {
+				if got.Confusion.Count(tc, pc) != ref.Confusion.Count(tc, pc) {
+					t.Fatalf("workers=%d: confusion[%d][%d] differs", workers, tc, pc)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAttackSetValidation(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunAttackSet(AttackConfig{}, nil); err == nil {
+		t.Error("empty feature set should fail")
+	}
+	cfg := AttackConfig{TrainStreamID: 7, EvalStreamID: 7}
+	if _, err := sys.RunAttackSet(cfg, []analytic.Feature{analytic.FeatureMean}); err == nil {
+		t.Error("identical stream IDs should fail")
+	}
+}
+
+// The multi-rate (m > 2) path must work through the set API as well:
+// no EmpiricalR/theory, but valid per-class confusion.
+func TestRunAttackSetMultiRate(t *testing.T) {
+	cfg := DefaultLabConfig()
+	cfg.Rates = []Rate{
+		{Label: "10pps", PPS: 10},
+		{Label: "20pps", PPS: 20},
+		{Label: "40pps", PPS: 40},
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := sys.RunAttackSet(AttackConfig{
+		WindowSize:   300,
+		TrainWindows: 30,
+		EvalWindows:  30,
+	}, []analytic.Feature{analytic.FeatureEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := set[0]
+	if res.EmpiricalR != 0 || res.TheoryDetectionRate != 0 {
+		t.Errorf("m=3 should not report two-class diagnostics: r=%v theory=%v",
+			res.EmpiricalR, res.TheoryDetectionRate)
+	}
+	if res.Confusion.Total() != 90 {
+		t.Errorf("confusion total = %d, want 90", res.Confusion.Total())
+	}
+	if res.DetectionRate < 1.0/3 {
+		t.Errorf("detection %v below guessing", res.DetectionRate)
+	}
+}

@@ -48,17 +48,17 @@ func BaselinePolicies(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   n,
+			TrainWindows: o.windows(120),
+			EvalWindows:  o.windows(120),
+			Workers:      o.nestedWorkers(len(policies)),
+		}, []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy})
+		if err != nil {
+			return err
+		}
 		row := []float64{policies[i].code}
-		for _, f := range []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   n,
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-			})
-			if err != nil {
-				return err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		pps, delay, err := padCost(sys, 0, o.windows(120)*n/4)

@@ -22,9 +22,10 @@ type Options struct {
 	Scale float64
 	// Seed is the master seed. Zero means 1.
 	Seed uint64
-	// Workers bounds sweep parallelism. Zero means min(GOMAXPROCS, 8).
-	// Results are identical for any worker count: every sweep point
-	// derives its randomness from its own seed.
+	// Workers bounds sweep parallelism. Zero means all CPUs
+	// (GOMAXPROCS). Results are identical for any worker count: every
+	// sweep point — and every Monte Carlo trial within a point — derives
+	// its randomness from its own seed.
 	Workers int
 }
 

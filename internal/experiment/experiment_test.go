@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -466,26 +467,32 @@ func TestValidateExactNet(t *testing.T) {
 	}
 }
 
-// Sweeps must be deterministic in the worker count: every point draws
-// randomness only from its own seed.
+// Sweeps must be deterministic in the worker count: every point — and
+// every Monte Carlo trial within a point — draws randomness only from its
+// own seed, so the rendered tables are byte-identical at any parallelism
+// width (1, 4, and all CPUs, including the nested trial workers).
 func TestParallelDeterminism(t *testing.T) {
-	opts1 := Options{Scale: 0.12, Seed: 5, Workers: 1}
-	opts4 := Options{Scale: 0.12, Seed: 5, Workers: 4}
-	a, err := Run("fig6", opts1)
-	if err != nil {
-		t.Fatal(err)
+	render := func(tbl *Table) string {
+		var sb strings.Builder
+		if err := tbl.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
 	}
-	b, err := Run("fig6", opts4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(a.Rows) != len(b.Rows) {
-		t.Fatalf("row count differs: %d vs %d", len(a.Rows), len(b.Rows))
-	}
-	for i := range a.Rows {
-		for j := range a.Rows[i] {
-			if a.Rows[i][j] != b.Rows[i][j] {
-				t.Fatalf("row %d col %d differs: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+	for _, id := range []string{"fig6", "fig4b"} {
+		ref, err := Run(id, Options{Scale: 0.12, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refText := render(ref)
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+			got, err := Run(id, Options{Scale: 0.12, Seed: 5, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if text := render(got); text != refText {
+				t.Fatalf("%s: table at Workers=%d differs from Workers=1:\n%s\nvs\n%s",
+					id, workers, text, refText)
 			}
 		}
 	}

@@ -35,17 +35,17 @@ func ExtFeatures(o Options) (*Table, error) {
 	ns := []int{200, 500, 1000}
 	rows := make([][]float64, len(ns))
 	err = parMap(len(ns), o.workers(), func(i int) error {
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   ns[i],
+			TrainWindows: o.windows(120),
+			EvalWindows:  o.windows(120),
+			Workers:      o.nestedWorkers(len(ns)),
+		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy, analytic.FeatureIQR})
+		if err != nil {
+			return err
+		}
 		row := []float64{float64(ns[i])}
-		for _, f := range []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy, analytic.FeatureIQR} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   ns[i],
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-			})
-			if err != nil {
-				return err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		rows[i] = row
@@ -85,17 +85,17 @@ func ValidateExactNet(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   n,
+			TrainWindows: o.windows(80),
+			EvalWindows:  o.windows(80),
+			Workers:      o.nestedWorkers(2),
+		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy})
+		if err != nil {
+			return err
+		}
 		row := []float64{float64(i)}
-		for _, f := range []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   n,
-				TrainWindows: o.windows(80),
-				EvalWindows:  o.windows(80),
-			})
-			if err != nil {
-				return err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		rows[i] = row
@@ -181,6 +181,7 @@ func MultiRate(o Options) (*Table, error) {
 		WindowSize:   1000,
 		TrainWindows: o.windows(150),
 		EvalWindows:  o.windows(150),
+		Workers:      o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -221,6 +222,7 @@ func AblationBinWidth(o Options) (*Table, error) {
 			TrainWindows:    o.windows(120),
 			EvalWindows:     o.windows(120),
 			EntropyBinWidth: wUS * 1e-6,
+			Workers:         o.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -246,22 +248,25 @@ func AblationTraining(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy} {
-		row := []float64{float64(f)}
-		for _, gaussian := range []bool{false, true} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   1000,
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-				GaussianFit:  gaussian,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.DetectionRate)
+	features := []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy}
+	// One shared-window pass per training mode; each reuses the same
+	// simulated windows across all three features.
+	byMode := make([][]*core.AttackResult, 2)
+	for mode, gaussian := range []bool{false, true} {
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   1000,
+			TrainWindows: o.windows(120),
+			EvalWindows:  o.windows(120),
+			GaussianFit:  gaussian,
+			Workers:      o.Workers,
+		}, features)
+		if err != nil {
+			return nil, err
 		}
-		if err := t.AddRow(row...); err != nil {
+		byMode[mode] = set
+	}
+	for i, f := range features {
+		if err := t.AddRow(float64(f), byMode[0][i].DetectionRate, byMode[1][i].DetectionRate); err != nil {
 			return nil, err
 		}
 	}
@@ -286,17 +291,17 @@ func AblationPayload(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   1000,
+			TrainWindows: o.windows(120),
+			EvalWindows:  o.windows(120),
+			Workers:      o.Workers,
+		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy})
+		if err != nil {
+			return nil, err
+		}
 		row := []float64{float64(m)}
-		for _, f := range []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   1000,
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-			})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		if err := t.AddRow(row...); err != nil {
@@ -335,6 +340,7 @@ func AblationTap(o Options) (*Table, error) {
 			WindowSize:   1000,
 			TrainWindows: o.windows(120),
 			EvalWindows:  o.windows(120),
+			Workers:      o.Workers,
 		})
 		if err != nil {
 			return nil, err

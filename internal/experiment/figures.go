@@ -151,20 +151,20 @@ func Fig4b(o Options) (*Table, error) {
 	rs := make([]float64, len(ns))
 	err = parMap(len(ns), o.workers(), func(i int) error {
 		n := ns[i]
-		row := []float64{float64(n)}
-		for _, f := range features {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   n,
-				TrainWindows: o.windows(150),
-				EvalWindows:  o.windows(150),
-			})
-			if err != nil {
-				return err
-			}
-			row = append(row, res.DetectionRate, res.TheoryDetectionRate)
-			rs[i] = res.EmpiricalR
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   n,
+			TrainWindows: o.windows(150),
+			EvalWindows:  o.windows(150),
+			Workers:      o.nestedWorkers(len(ns)),
+		}, features)
+		if err != nil {
+			return err
 		}
+		row := []float64{float64(n)}
+		for _, res := range set {
+			row = append(row, res.DetectionRate, res.TheoryDetectionRate)
+		}
+		rs[i] = set[0].EmpiricalR
 		rows[i] = row
 		return nil
 	})
@@ -201,17 +201,17 @@ func Fig5a(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   n,
+			TrainWindows: o.windows(120),
+			EvalWindows:  o.windows(120),
+			Workers:      o.nestedWorkers(len(sigmas)),
+		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy, analytic.FeatureMean})
+		if err != nil {
+			return err
+		}
 		row := []float64{sigmas[i]}
-		for _, f := range []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy, analytic.FeatureMean} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   n,
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-			})
-			if err != nil {
-				return err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		r, err := sys.ModelR(0)
@@ -291,17 +291,17 @@ func Fig6(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   n,
+			TrainWindows: o.windows(120),
+			EvalWindows:  o.windows(120),
+			Workers:      o.nestedWorkers(len(utils)),
+		}, []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy})
+		if err != nil {
+			return err
+		}
 		row := []float64{utils[i]}
-		for _, f := range []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   n,
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-			})
-			if err != nil {
-				return err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		r, err := sys.ModelR(0)
@@ -348,17 +348,17 @@ func fig8(o Options, id, title string, hops []core.HopSpec, note string) (*Table
 		if err != nil {
 			return err
 		}
+		set, err := sys.RunAttackSet(core.AttackConfig{
+			WindowSize:   n,
+			TrainWindows: o.windows(100),
+			EvalWindows:  o.windows(100),
+			Workers:      o.nestedWorkers(len(hours)),
+		}, []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy})
+		if err != nil {
+			return err
+		}
 		row := []float64{hour}
-		for _, f := range []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy} {
-			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      f,
-				WindowSize:   n,
-				TrainWindows: o.windows(100),
-				EvalWindows:  o.windows(100),
-			})
-			if err != nil {
-				return err
-			}
+		for _, res := range set {
 			row = append(row, res.DetectionRate)
 		}
 		rows[i] = row
@@ -411,6 +411,7 @@ func theoryGapRow(o Options, sigmaT float64) (emp, theory float64, err error) {
 		WindowSize:   1000,
 		TrainWindows: o.windows(120),
 		EvalWindows:  o.windows(120),
+		Workers:      o.Workers,
 	})
 	if err != nil {
 		return 0, 0, err

@@ -1,29 +1,36 @@
 package experiment
 
-import (
-	"runtime"
-	"sync"
-)
+import "linkpad/internal/par"
 
-// defaultWorkers bounds sweep parallelism: experiment points are
-// CPU-bound, so more workers than cores only adds scheduling noise.
-func defaultWorkers() int {
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+// workers resolves the Options worker count: zero means every available
+// CPU (GOMAXPROCS), with no artificial ceiling — sweep points are
+// CPU-bound and scale with the hardware. Results are identical at any
+// width; see par.Map.
+func (o Options) workers() int {
+	return par.Workers(o.Workers)
 }
 
-// workers resolves the Options worker count.
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+// nestedWorkers splits the worker budget between a sweep over `points`
+// and the trial parallelism inside each point, so the total number of
+// CPU-bound goroutines stays at the requested width instead of
+// points × width. Short sweeps (fewer points than workers) get the
+// surplus back as trial workers; wide sweeps run their points with one
+// trial worker each. Purely a scheduling decision — results are
+// identical either way.
+func (o Options) nestedWorkers(points int) int {
+	w := o.workers()
+	outer := w
+	if points < outer {
+		outer = points
 	}
-	return defaultWorkers()
+	if outer <= 1 {
+		return w
+	}
+	inner := w / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
 }
 
 // parMap executes fn(i) for every i in [0, n) on up to `workers`
@@ -32,56 +39,5 @@ func (o Options) workers() int {
 // are identical regardless of the worker count — every experiment point
 // derives its randomness from its own seed, never from execution order.
 func parMap(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		next     int
-		mu       sync.Mutex
-		firstErr error
-	)
-	claim := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := claim()
-				if !ok {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.Map(n, workers, fn)
 }

@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"sort"
 )
 
 // Histogram is a fixed-bin-width histogram. The paper's robust entropy
@@ -85,10 +86,18 @@ func (h *Histogram) Entropy() float64 {
 	if h.n == 0 {
 		return 0
 	}
+	// Sum in sorted bin order: map iteration order is randomized, and the
+	// float sum is order-sensitive at the ULP level, which would make
+	// entropy features (and so whole experiment tables) non-reproducible.
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
 	n := float64(h.n)
 	var sum float64
-	for _, k := range h.counts {
-		p := float64(k) / n
+	for _, i := range idxs {
+		p := float64(h.counts[i]) / n
 		sum -= p * math.Log(p)
 	}
 	return sum

@@ -109,27 +109,104 @@ func Variance(xs []float64) float64 {
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics. It sorts a copy of the input.
+// interpolation between order statistics. The input is left untouched; a
+// scratch copy is selected with quickselect rather than fully sorted.
 func Quantile(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, errors.New("stats: Quantile of empty sample")
-	}
-	if q < 0 || q > 1 {
-		return 0, errors.New("stats: quantile level out of [0,1]")
+	if err := validateQuantile(xs, q); err != nil {
+		return 0, err
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	return quantileSelected(s, q), nil
+}
+
+// QuantileInPlace returns the q-quantile of s by partially reordering s
+// itself (quickselect), so repeated calls on a reusable buffer allocate
+// nothing. The element multiset is preserved; the order is not.
+func QuantileInPlace(s []float64, q float64) (float64, error) {
+	if err := validateQuantile(s, q); err != nil {
+		return 0, err
+	}
+	return quantileSelected(s, q), nil
+}
+
+func validateQuantile(xs []float64, q float64) error {
+	if len(xs) == 0 {
+		return errors.New("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return errors.New("stats: quantile level out of [0,1]")
+	}
+	return nil
+}
+
+// quantileSelected computes the interpolated quantile of s, mutating it.
+func quantileSelected(s []float64, q float64) float64 {
 	if len(s) == 1 {
-		return s[0], nil
+		return s[0]
 	}
 	pos := q * float64(len(s)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
+	x := selectKth(s, lo)
 	if lo == hi {
-		return s[lo], nil
+		return x
+	}
+	// The hi-th order statistic is the minimum of the right partition
+	// quickselect leaves above position lo.
+	y := s[lo+1]
+	for _, v := range s[lo+2:] {
+		if v < y {
+			y = v
+		}
 	}
 	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac, nil
+	return x*(1-frac) + y*frac
+}
+
+// selectKth places the k-th order statistic of s at index k (with smaller
+// elements left of it and larger right of it) and returns it, using
+// median-of-three quickselect with Hoare partitioning. Expected O(n), no
+// allocation, deterministic for a given input. Behaviour with NaNs is
+// unspecified (as with sort-based selection) but always terminates.
+func selectKth(s []float64, k int) float64 {
+	l, r := 0, len(s)-1
+	for l < r {
+		// Median-of-three pivot: order s[l], s[m], s[r].
+		m := l + (r-l)/2
+		if s[m] < s[l] {
+			s[m], s[l] = s[l], s[m]
+		}
+		if s[r] < s[l] {
+			s[r], s[l] = s[l], s[r]
+		}
+		if s[r] < s[m] {
+			s[r], s[m] = s[m], s[r]
+		}
+		pivot := s[m]
+		i, j := l, r
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			r = j
+		case k >= i:
+			l = i
+		default:
+			return s[k]
+		}
+	}
+	return s[k]
 }
 
 // Autocorr returns the lag-k sample autocorrelation of xs.

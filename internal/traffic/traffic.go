@@ -209,6 +209,11 @@ func (d Diurnal) Validate() error {
 
 // At returns the utilization at the given hour of day (wrapping modulo 24).
 func (d Diurnal) At(hour float64) float64 {
+	if d.Peak == d.Trough {
+		// Constant profile: skip the trig. This path runs once per packet
+		// per hop in the network simulator, so it must stay branch-cheap.
+		return d.Trough
+	}
 	hour = math.Mod(hour, 24) // keep the phase computation finite
 	phase := 2 * math.Pi * (hour - d.TroughHour) / 24
 	activity := 0.5 * (1 - math.Cos(phase)) // 0 at trough, 1 at trough+12h

@@ -200,8 +200,15 @@ func (r *Rand) Geometric(p float64) int {
 	if p == 0 {
 		return 0
 	}
-	// Inversion: K = floor(log(U) / log(p)).
-	k := math.Floor(math.Log(r.Float64Open()) / math.Log(p))
+	// Inversion: K = floor(log(U) / log(p)). The ladder sampler calls this
+	// once per packet per hop, and at the utilizations studied K = 0 — that
+	// is U > p — dominates, so resolve that case from the uniform alone
+	// before paying for two logarithms.
+	u := r.Float64Open()
+	if u > p {
+		return 0
+	}
+	k := math.Floor(math.Log(u) / math.Log(p))
 	if k < 0 {
 		return 0
 	}
