@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench bench-json clean
+.PHONY: all build vet test race bench bench-json clean
 
 all: vet build test
 
@@ -23,3 +23,9 @@ bench-json:
 
 clean:
 	rm -f linkpad.test
+
+# Race-detector pass over the full test suite; nested parallelism
+# (sweep points x sessions x trials) is load-bearing, so run this before
+# touching internal/par or the attack pipelines.
+race:
+	$(GO) test -race ./...

@@ -226,3 +226,21 @@ func BenchmarkAblationCrossModel(b *testing.B) {
 		"ent_train_cross":   {"ent_emp", "last"},
 	})
 }
+
+// BenchmarkExtOnline runs the continuous-stream anytime adversary across
+// window sizes.
+func BenchmarkExtOnline(b *testing.B) {
+	runFigure(b, "ext-online", map[string][2]string{
+		"anytime_at_nmax": {"anytime_det", "last"},
+		"sec_to_dec_nmax": {"mean_seconds_to_dec", "last"},
+	})
+}
+
+// BenchmarkAblationWindowing compares the i.i.d.-replica and
+// continuous-stream window protocols.
+func BenchmarkAblationWindowing(b *testing.B) {
+	runFigure(b, "ablation-windowing", map[string][2]string{
+		"replica_poisson": {"replica_det", "first"},
+		"stream_onoff":    {"stream_det", "last"},
+	})
+}

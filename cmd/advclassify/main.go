@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -60,6 +61,15 @@ func parseFeature(name string) (analytic.Feature, error) {
 	}
 }
 
+// options collects the tool's parameters; classify is the testable core.
+type options struct {
+	trainPaths []string
+	evalPaths  []string
+	feature    analytic.Feature
+	window     int
+	binWidth   float64
+}
+
 func run() error {
 	var (
 		trainArg = flag.String("train", "", "comma-separated training traces, one per class")
@@ -77,19 +87,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	trainPaths := strings.Split(*trainArg, ",")
-	evalPaths := strings.Split(*evalArg, ",")
-	if len(trainPaths) < 2 {
+	return classify(os.Stdout, options{
+		trainPaths: strings.Split(*trainArg, ","),
+		evalPaths:  strings.Split(*evalArg, ","),
+		feature:    feature,
+		window:     *window,
+		binWidth:   *binWidth,
+	})
+}
+
+// classify trains the Bayes adversary on the training traces and reports
+// the confusion matrix of the evaluation traces to w.
+func classify(w io.Writer, opts options) error {
+	if opts.window < 2 {
+		return fmt.Errorf("window size must be at least 2 (got %d)", opts.window)
+	}
+	if len(opts.trainPaths) < 2 {
 		return fmt.Errorf("need at least two training traces (one per class)")
 	}
-	if len(evalPaths) != len(trainPaths) {
-		return fmt.Errorf("need one evaluation trace per class (%d != %d)", len(evalPaths), len(trainPaths))
+	if len(opts.evalPaths) != len(opts.trainPaths) {
+		return fmt.Errorf("need one evaluation trace per class (%d != %d)",
+			len(opts.evalPaths), len(opts.trainPaths))
 	}
 
-	labels := make([]string, len(trainPaths))
-	sources := make([]adversary.PIATSource, len(trainPaths))
+	labels := make([]string, len(opts.trainPaths))
+	sources := make([]adversary.PIATSource, len(opts.trainPaths))
 	minWindows := int(^uint(0) >> 1)
-	for i, p := range trainPaths {
+	for i, p := range opts.trainPaths {
 		meta, piats, err := trace.ReadFile(p)
 		if err != nil {
 			return fmt.Errorf("training trace %s: %w", p, err)
@@ -99,17 +123,17 @@ func run() error {
 			labels[i] = fmt.Sprintf("class%d", i)
 		}
 		sources[i] = &sliceSource{xs: piats}
-		if w := len(piats) / *window; w < minWindows {
+		if w := len(piats) / opts.window; w < minWindows {
 			minWindows = w
 		}
 	}
 	if minWindows < 2 {
-		return fmt.Errorf("training traces too short for window size %d", *window)
+		return fmt.Errorf("training traces too short for window size %d", opts.window)
 	}
 
 	att, err := adversary.Train(adversary.TrainConfig{
-		Extractor:       adversary.Extractor{Feature: feature, EntropyBinWidth: *binWidth},
-		WindowSize:      *window,
+		Extractor:       adversary.Extractor{Feature: opts.feature, EntropyBinWidth: opts.binWidth},
+		WindowSize:      opts.window,
 		WindowsPerClass: minWindows,
 	}, labels, sources)
 	if err != nil {
@@ -117,13 +141,13 @@ func run() error {
 	}
 
 	cm := bayes.NewConfusion(labels)
-	for class, p := range evalPaths {
+	for class, p := range opts.evalPaths {
 		_, piats, err := trace.ReadFile(p)
 		if err != nil {
 			return fmt.Errorf("evaluation trace %s: %w", p, err)
 		}
 		src := &sliceSource{xs: piats}
-		windows := len(piats) / *window
+		windows := len(piats) / opts.window
 		if windows == 0 {
 			return fmt.Errorf("evaluation trace %s shorter than one window", p)
 		}
@@ -135,7 +159,8 @@ func run() error {
 			cm.Add(class, pred)
 		}
 	}
-	fmt.Printf("feature: %s  window: %d  training windows/class: %d\n", feature, *window, minWindows)
-	fmt.Println(cm.String())
+	fmt.Fprintf(w, "feature: %s  window: %d  training windows/class: %d\n",
+		opts.feature, opts.window, minWindows)
+	fmt.Fprintln(w, cm.String())
 	return nil
 }

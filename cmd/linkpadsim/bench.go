@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"linkpad/internal/experiment"
@@ -12,9 +15,12 @@ import (
 
 // benchRecord is one -bench-json run: wall-clock per experiment at the
 // given options, appended to the trajectory file so successive commits
-// (or machines) can be compared.
+// (or machines) can be compared. GitCommit and Scale attribute each
+// record to a code revision and Monte Carlo effort, making the
+// trajectory comparable across commits.
 type benchRecord struct {
 	Timestamp    string       `json:"timestamp"`
+	GitCommit    string       `json:"git_commit"`
 	GoVersion    string       `json:"go_version"`
 	GOMAXPROCS   int          `json:"gomaxprocs"`
 	Scale        float64      `json:"scale"`
@@ -22,6 +28,70 @@ type benchRecord struct {
 	Workers      int          `json:"workers"`
 	Experiments  []benchPoint `json:"experiments"`
 	TotalSeconds float64      `json:"total_seconds"`
+}
+
+// gitCommit identifies the code revision being benchmarked. The
+// enclosing git checkout is preferred over the binary's build info so
+// `go run` and a built binary stamp the same tree identically: git can
+// exclude BENCH.json from the dirty check (the bench run itself appends
+// to it, and a trajectory file touched by the previous run must not mark
+// an otherwise clean tree dirty), where vcs.modified cannot. The
+// checkout is used only if it actually is this module, so a run from
+// inside an unrelated repository is not attributed to that repository's
+// commits. Build info is the fallback for binaries run outside the
+// checkout; "unknown" when neither source is available.
+func gitCommit() string {
+	if rev := gitTreeCommit(); rev != "" {
+		return rev
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + modified
+		}
+	}
+	return "unknown"
+}
+
+// gitTreeCommit resolves the enclosing checkout's HEAD (+dirty), or ""
+// when the cwd is not inside this module's repository.
+func gitTreeCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--show-toplevel").Output()
+	if err != nil {
+		return ""
+	}
+	top := strings.TrimSpace(string(out))
+	mod, err := os.ReadFile(top + "/go.mod")
+	if err != nil || !strings.HasPrefix(string(mod), "module linkpad\n") {
+		return ""
+	}
+	out, err = exec.Command("git", "-C", top, "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	// Whole-tree status (git -C toplevel) so a subdirectory cwd neither
+	// misses dirt elsewhere nor fails to exclude BENCH.json. A failed
+	// status must not stamp a possibly-dirty tree as clean — fall back
+	// to the build-info path instead.
+	status, err := exec.Command("git", "-C", top, "status", "--porcelain", "--", ".", ":!BENCH.json").Output()
+	if err != nil {
+		return ""
+	}
+	if len(status) > 0 {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // benchPoint times one experiment.
@@ -36,6 +106,7 @@ type benchPoint struct {
 func runBenchJSON(ids []string, opts experiment.Options, path string) error {
 	rec := benchRecord{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GitCommit:  gitCommit(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      opts.Scale,

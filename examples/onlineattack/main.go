@@ -1,0 +1,86 @@
+// Onlineattack demonstrates the continuous-stream session API end to
+// end: one padded timeline observed window by window, and the anytime
+// (SPRT-style) adversary that accumulates evidence across consecutive
+// windows until it is confident — so the security metric becomes *how
+// long* a deployment survives observation, not just the detection rate
+// at one fixed sample size.
+//
+// Run with: go run ./examples/onlineattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	cfg := linkpad.DefaultLabConfig()
+	sys, err := linkpad.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: a raw session. Unlike the i.i.d.-replica protocol, the
+	// stream clock advances monotonically across windows — consecutive
+	// windows are slices of one continuous padded timeline.
+	sess, err := sys.NewSession(1, 42) // class 1 = 40 pps
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.WarmUp(100) // run the system past its cold-start transient
+	fmt.Printf("continuous session of class %q, warm-up 100 packets (%.2f s of stream)\n",
+		sys.Labels()[sess.Class()], sess.Now())
+	const n = 1000
+	for w := 0; w < 3; w++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += sess.Source().Next()
+		}
+		fmt.Printf("  window %d: mean PIAT %.4f ms, stream clock now %6.2f s (%d PIATs observed)\n",
+			w+1, sum/n*1e3, sess.Now(), sess.Observed())
+	}
+
+	// Part 2: the anytime attack. The adversary trains on continuous
+	// sessions, then watches fresh sessions and stops at 99% posterior
+	// confidence. Against CIT the decision lands within a couple of
+	// windows; VIT with a large sigma_T stretches it past the budget.
+	fmt.Println()
+	fmt.Printf("%-22s %10s %10s %12s %14s\n",
+		"system", "detection", "decided", "windows/dec", "seconds/dec")
+	for _, tc := range []struct {
+		name   string
+		sigmaT float64
+	}{
+		{"CIT (sigma_T = 0)", 0},
+		{"VIT sigma_T = 30us", 30e-6},
+		{"VIT sigma_T = 100us", 100e-6},
+	} {
+		c := cfg
+		c.SigmaT = tc.sigmaT
+		s, err := linkpad.NewSystem(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.RunAttackSession(linkpad.SessionAttackConfig{
+			Feature:      linkpad.FeatureEntropy,
+			WindowSize:   n,
+			TrainWindows: 120,
+			EvalSessions: 40,
+			MaxWindows:   10,
+			Confidence:   0.99,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.3f %9.0f%% %12.2f %14.2f\n",
+			tc.name, res.DetectionRate, res.DecidedRate*100,
+			res.MeanWindowsToDecision, res.MeanTimeToDecision)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: against CIT the online adversary is confident after ~1-2")
+	fmt.Println("windows (tens of seconds of traffic); adding timer variance stretches")
+	fmt.Println("the time to detection and finally starves the decision entirely.")
+}

@@ -361,6 +361,13 @@ func (s *System) buildGateway(class int, streamID uint64) (*gateway.Gateway, *xr
 // streamID distinguishes replicas: training and evaluation must use
 // different IDs (the same ID reproduces the identical stream).
 func (s *System) PIATSource(class int, streamID uint64) (adversary.PIATSource, error) {
+	return s.tap(class, streamID)
+}
+
+// tap assembles the full observation chain for one stream realization —
+// gateway (or mix), network path, tap imperfections — and returns the
+// differencing tap, whose stream clock the session layer reads.
+func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 	var stream netem.TimeStream
 	var master *xrand.Rand
 	if s.cfg.Mix != nil {
@@ -529,11 +536,17 @@ func (s *System) RunAttack(cfg AttackConfig) (*AttackResult, error) {
 // queue warm-up; the gateway and exact-router transients span a few
 // packets of a >=100-packet window. The validate-exactnet and
 // ablation-theorygap experiments confirm the i.i.d.-window measurements
-// agree with the exact simulation and the closed-form theory.
+// agree with the exact simulation and the closed-form theory, and the
+// ablation-windowing experiment quantifies the residual protocol gap
+// against RunAttackSession's continuous-stream sessions, which implement
+// the paper's consecutive-window observation directly.
 func (s *System) RunAttackSet(cfg AttackConfig, features []analytic.Feature) ([]*AttackResult, error) {
 	cfg = cfg.withDefaults()
-	if cfg.TrainStreamID == cfg.EvalStreamID {
-		return nil, errors.New("core: training and evaluation must use different stream IDs")
+	if uint32(cfg.TrainStreamID) == uint32(cfg.EvalStreamID) {
+		// Windows are spread across the high bits (windowStreamID), so
+		// bases sharing their low 32 bits would alias window streams
+		// between the phases, not just at equal IDs.
+		return nil, errors.New("core: training and evaluation stream IDs must differ in their low 32 bits")
 	}
 	if len(features) == 0 {
 		return nil, errors.New("core: empty feature set")

@@ -52,9 +52,10 @@ func TestRegistry(t *testing.T) {
 	names := Names()
 	want := []string{"ablation-binwidth", "ablation-crossmodel",
 		"ablation-payload", "ablation-tap", "ablation-theorygap",
-		"ablation-training", "baseline-policies", "ext-features",
-		"ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b",
-		"fig6", "fig8a", "fig8b", "multirate", "validate-exactnet"}
+		"ablation-training", "ablation-windowing", "baseline-policies",
+		"ext-features", "ext-online", "ext-sizes", "fig4a", "fig4b",
+		"fig5a", "fig5b", "fig6", "fig8a", "fig8b", "multirate",
+		"validate-exactnet"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %v, want %v", names, want)
 	}
@@ -467,6 +468,64 @@ func TestValidateExactNet(t *testing.T) {
 	}
 }
 
+// The online extension: the anytime adversary breaks CIT with large
+// windows almost surely, and the decision cost is measured in stream
+// seconds consistent with windows × n × τ.
+func TestExtOnline(t *testing.T) {
+	tbl := runTable(t, "ext-online")
+	ns := col(tbl, "n")
+	det := col(tbl, "anytime_det")
+	decided := col(tbl, "decided_frac")
+	meanW := col(tbl, "mean_windows_to_dec")
+	meanS := col(tbl, "mean_seconds_to_dec")
+	last := len(ns) - 1
+	if det[last] < 0.9 {
+		t.Errorf("anytime detection at n=%v = %v, want > 0.9", ns[last], det[last])
+	}
+	if decided[last] < 0.8 {
+		t.Errorf("decided fraction at n=%v = %v, want > 0.8", ns[last], decided[last])
+	}
+	for i := range ns {
+		if decided[i] < 0 || decided[i] > 1 {
+			t.Fatalf("decided fraction %v out of range", decided[i])
+		}
+		if decided[i] > 0 {
+			if meanW[i] < 1 || meanW[i] > 12 {
+				t.Errorf("n=%v: mean windows to decision = %v", ns[i], meanW[i])
+			}
+			// Stream time per window is ~ n·τ (PIAT mean is the padding
+			// period, 10 ms).
+			want := meanW[i] * ns[i] * 10e-3
+			if meanS[i] < 0.7*want || meanS[i] > 1.3*want {
+				t.Errorf("n=%v: mean seconds %v inconsistent with %v windows (~%v s)",
+					ns[i], meanS[i], meanW[i], want)
+			}
+		}
+	}
+}
+
+// The windowing ablation: for memoryless payload the i.i.d.-replica and
+// continuous-stream protocols agree within Monte Carlo noise (the fast
+// protocol's license), and accumulating evidence across windows never
+// loses to single-window decisions.
+func TestAblationWindowing(t *testing.T) {
+	tbl := runTable(t, "ablation-windowing")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 payload-model rows")
+	}
+	replica := col(tbl, "replica_det")
+	stream := col(tbl, "stream_det")
+	anytime := col(tbl, "anytime_det")
+	if d := replica[0] - stream[0]; d < -0.1 || d > 0.1 {
+		t.Errorf("poisson: replica %v vs stream %v differ beyond MC noise", replica[0], stream[0])
+	}
+	for i := range anytime {
+		if anytime[i] < stream[i]-0.1 {
+			t.Errorf("row %d: anytime %v falls below single-window %v", i, anytime[i], stream[i])
+		}
+	}
+}
+
 // Sweeps must be deterministic in the worker count: every point — and
 // every Monte Carlo trial within a point — draws randomness only from its
 // own seed, so the rendered tables are byte-identical at any parallelism
@@ -479,7 +538,7 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		return sb.String()
 	}
-	for _, id := range []string{"fig6", "fig4b"} {
+	for _, id := range []string{"fig6", "fig4b", "ext-online"} {
 		ref, err := Run(id, Options{Scale: 0.12, Seed: 5, Workers: 1})
 		if err != nil {
 			t.Fatal(err)

@@ -389,6 +389,15 @@ func (g *Gateway) Next() float64 {
 	return t
 }
 
+// Now returns the gateway's stream clock: the departure time of the most
+// recently emitted padded packet (0 before the first fire). The clock
+// advances monotonically across observation windows instead of
+// restarting at zero per window; it is the gateway-level accessor for
+// standalone gateway studies — a full observation chain reads the clock
+// at the tap instead (netem.Differ.Now, via core.Session.Now), which
+// also reflects network delay.
+func (g *Gateway) Now() float64 { return g.lastDepart }
+
 // Stats returns a copy of the activity counters.
 func (g *Gateway) Stats() Stats { return g.stats }
 

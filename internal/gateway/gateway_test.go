@@ -391,3 +391,45 @@ func BenchmarkGatewayNext(b *testing.B) {
 		g.Next()
 	}
 }
+
+// Now exposes the stream clock that carries across session windows: the
+// gateway's continuous timeline advances monotonically with every fire
+// instead of restarting per observation window.
+func TestGatewaySessionClock(t *testing.T) {
+	master := xrand.New(11)
+	src, err := traffic.NewPoisson(40, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCIT(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Policy: c, Jitter: DefaultJitter(), Payload: src, RNG: master.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Now() != 0 {
+		t.Fatalf("fresh gateway clock = %v", g.Now())
+	}
+	for i := 0; i < 500; i++ {
+		g.NextPacket()
+	}
+	st := g.Stats()
+	if st.Fires != 500 {
+		t.Fatalf("after 500 fires: fires = %d", st.Fires)
+	}
+	if got, want := g.Now(), 500*tau; got < 0.9*want || got > 1.1*want {
+		t.Errorf("clock after 500 fires = %v, want ~%v", got, want)
+	}
+	// Observation continues the same timeline: the next departure
+	// advances past the current clock, never restarts at zero.
+	warm := g.Now()
+	next := g.Next()
+	if next <= warm {
+		t.Errorf("post-warm-up departure %v restarted the clock (warmed to %v)", next, warm)
+	}
+	if next-g.Now() != 0 {
+		t.Errorf("Now (%v) should track the last departure (%v)", g.Now(), next)
+	}
+}

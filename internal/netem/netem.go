@@ -235,9 +235,14 @@ func UniformHops(n int, service float64, util UtilFunc, prop float64) []Hop {
 }
 
 // Differ converts a TimeStream into its inter-arrival (PIAT) sequence.
+// A Differ is the session-facing face of the network path: it carries the
+// absolute stream clock across consecutive observation windows, so one
+// Differ consumed incrementally yields the continuous padded timeline the
+// paper's adversary taps (as opposed to rebuilding the chain per window).
 type Differ struct {
 	src     TimeStream
 	prev    float64
+	count   uint64
 	started bool
 }
 
@@ -253,7 +258,27 @@ func (d *Differ) Next() float64 {
 	t := d.src.Next()
 	x := t - d.prev
 	d.prev = t
+	d.count++
 	return x
+}
+
+// Now returns the absolute stream time of the most recently observed
+// packet (0 before the first Next call). Sessions use it to convert
+// windows-to-decision into stream seconds.
+func (d *Differ) Now() float64 { return d.prev }
+
+// Observed returns how many PIATs have been consumed so far, warm-up
+// included.
+func (d *Differ) Observed() uint64 { return d.count }
+
+// Skip consumes and discards n PIATs: the session warm-up, which runs the
+// whole upstream chain (payload arrivals, gateway queue and timer,
+// network queues) past its transient while the adversary is not yet
+// watching. The stream clock still advances.
+func (d *Differ) Skip(n int) {
+	for i := 0; i < n; i++ {
+		d.Next()
+	}
 }
 
 // PIATs collects n inter-arrival times.

@@ -14,6 +14,14 @@ import (
 )
 
 // Source generates an arrival process as a sequence of inter-arrival gaps.
+//
+// A Source is a stateful stream: successive Next calls continue one
+// realization of the process, so a long-lived Source carries its arrival
+// state (burst phase, clock phase, train position) across consecutive
+// observation windows. The continuous-stream session protocol relies on
+// this; the i.i.d.-replica protocol instead builds a fresh Source per
+// window, which restarts modulated processes (OnOff, Train) in their
+// initial state.
 type Source interface {
 	// Next returns the gap, in seconds, until the next arrival.
 	Next() float64
@@ -138,6 +146,16 @@ func (s *OnOff) Next() float64 {
 // Rate returns the long-run average rate: peakRate * meanOn/(meanOn+meanOff).
 func (s *OnOff) Rate() float64 {
 	return s.peakRate * s.meanOn / (s.meanOn + s.meanOff)
+}
+
+// State reports the modulating chain's current phase: whether the source
+// is in an ON burst and how much holding time remains. A fresh replica
+// always reports (true, full holding time); in a continuous session the
+// state drifts toward the stationary ON fraction meanOn/(meanOn+meanOff),
+// which is what makes consecutive windows of bursty payload correlated —
+// the structure the i.i.d.-replica protocol erases.
+func (s *OnOff) State() (on bool, remaining float64) {
+	return s.on, s.stateLeft
 }
 
 // Train is a batch-Poisson ("packet train") process: train starts arrive

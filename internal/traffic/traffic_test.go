@@ -292,3 +292,57 @@ func BenchmarkOnOffNext(b *testing.B) {
 	}
 	_ = sink
 }
+
+// The on-off source's modulation state persists across observation
+// windows of one continuous stream — a fresh replica always restarts in a
+// full ON burst, while a long-lived session drifts toward the stationary
+// ON/OFF mix. This carried state is what the continuous-stream session
+// protocol preserves and the i.i.d.-replica protocol erases.
+func TestOnOffStateCarriesAcrossWindows(t *testing.T) {
+	fresh, err := NewOnOff(80, 0.2, 0.2, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on, left := fresh.State(); !on || left <= 0 {
+		t.Fatalf("fresh source state = (%v, %v), want ON with positive holding time", on, left)
+	}
+	// An uninterrupted run and a windowed run of the same seed must
+	// produce the identical gap sequence: slicing a session into windows
+	// does not perturb the process, because the state carries.
+	continuous, err := NewOnOff(80, 0.2, 0.2, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := NewOnOff(80, 0.2, 0.2, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, 200)
+	for i := range ref {
+		ref[i] = continuous.Next()
+	}
+	for w := 0; w < 10; w++ { // 10 windows of 20 = same 200 gaps
+		for i := 0; i < 20; i++ {
+			if got := windowed.Next(); got != ref[w*20+i] {
+				t.Fatalf("window %d gap %d: %v != continuous %v", w, i, got, ref[w*20+i])
+			}
+		}
+		// The carried holding time shrinks as stream time passes; a
+		// rebuilt replica would reset it to a fresh draw each window.
+		if _, left := windowed.State(); left <= 0 {
+			t.Fatalf("window %d: non-positive holding time %v", w, left)
+		}
+	}
+	// A replica rebuilt per window (same seed) replays window 1 forever
+	// instead of continuing — the bias the session protocol removes.
+	replica, err := NewOnOff(80, 0.2, 0.2, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on, _ := replica.State(); !on {
+		t.Error("replica should restart in the ON state")
+	}
+	if got := replica.Next(); got != ref[0] {
+		t.Errorf("rebuilt replica's first gap %v should replay %v", got, ref[0])
+	}
+}

@@ -16,10 +16,11 @@
 // Three layers are exposed:
 //
 //   - System / Config: declaratively describe a deployment and run
-//     simulated attacks against it (RunAttack), predict detection rates
-//     with the paper's closed-form theorems (TheoreticalDetectionRate),
-//     and solve the design problem of choosing σ_T (DesignVIT,
-//     CalibrateVIT).
+//     simulated attacks against it — batch i.i.d.-window attacks
+//     (RunAttack) or continuous-stream sessions with anytime detection
+//     (NewSession, RunAttackSession) — predict detection rates with the
+//     paper's closed-form theorems (TheoreticalDetectionRate), and solve
+//     the design problem of choosing σ_T (DesignVIT, CalibrateVIT).
 //   - Features and theorems: the analytic detection-rate formulas are
 //     re-exported (DetectionRateMean/Variance/Entropy, SampleSize*).
 //   - Experiments: RunExperiment regenerates every figure of the paper's
@@ -59,6 +60,21 @@ type (
 	// confusion matrix, and the closed-form prediction at the measured
 	// variance ratio.
 	AttackResult = core.AttackResult
+	// Session is one continuous observation of a class: consecutive
+	// windows share carried stream state, implementing the paper's
+	// sequential-observation threat model (System.NewSession).
+	Session = core.Session
+	// SessionAttackConfig parameterizes the continuous-stream attack with
+	// anytime (SPRT-style) decisions (System.RunAttackSession).
+	SessionAttackConfig = core.SessionAttackConfig
+	// SessionAttacker is a trained continuous-stream adversary
+	// (System.TrainSessionAttack) whose Evaluate runs the anytime attack
+	// under different run-time knobs without retraining.
+	SessionAttacker = core.SessionAttacker
+	// SessionAttackResult reports a continuous-stream attack: detection
+	// rate of the anytime decisions, decision coverage, and
+	// time-to-detection statistics.
+	SessionAttackResult = core.SessionAttackResult
 )
 
 // Payload models.
