@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json clean
+.PHONY: all build vet test race bench bench-json bench-compare staticcheck clean
 
 all: vet build test
 
@@ -20,6 +20,15 @@ bench:
 # Append a timing trajectory record for every experiment to BENCH.json.
 bench-json:
 	$(GO) run ./cmd/linkpadsim -exp all -scale 0.5 -bench-json BENCH.json
+
+# Per-experiment wall-clock deltas between the last two comparable
+# BENCH.json records (same scale/seed/workers).
+bench-compare:
+	$(GO) run ./cmd/linkpadsim -bench-compare BENCH.json
+
+# Static analysis at the version CI pins (needs network for the first run).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
 
 clean:
 	rm -f linkpad.test

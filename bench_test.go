@@ -244,3 +244,21 @@ func BenchmarkAblationWindowing(b *testing.B) {
 		"stream_onoff":    {"stream_det", "last"},
 	})
 }
+
+// BenchmarkExtDisclosure measures the population engine's statistical
+// disclosure sweep (rounds-to-disclosure vs population size and cover).
+func BenchmarkExtDisclosure(b *testing.B) {
+	runFigure(b, "ext-disclosure", map[string][2]string{
+		"rounds_n24_c0": {"mean_rounds", "first"},
+		"anon_n96_c4":   {"mean_anonymity", "last"},
+	})
+}
+
+// BenchmarkAblationPopulationPadding measures the per-flow correlation
+// attack across padding policies at matched overhead.
+func BenchmarkAblationPopulationPadding(b *testing.B) {
+	runFigure(b, "ablation-population-padding", map[string][2]string{
+		"flow_acc_none": {"flow_acc", "first"},
+		"flow_acc_mix":  {"flow_acc", "last"},
+	})
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runBenchCompare prints per-experiment wall-clock deltas between the
+// last record of the trajectory at path and the most recent earlier
+// record with the same scale, seed and effective parallelism (equal
+// workers, and equal GOMAXPROCS when workers is 0 = all CPUs) — the pair
+// that is actually comparable — so a perf regression shows up as a
+// signed percentage instead of a manual JSON diff.
+func runBenchCompare(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-compare: %w", err)
+	}
+	var trajectory []benchRecord
+	if err := json.Unmarshal(data, &trajectory); err != nil {
+		return fmt.Errorf("bench-compare: %s is not a bench trajectory: %w", path, err)
+	}
+	if len(trajectory) < 2 {
+		return fmt.Errorf("bench-compare: %s holds %d record(s); need at least two", path, len(trajectory))
+	}
+	last := &trajectory[len(trajectory)-1]
+	var prev *benchRecord
+	for i := len(trajectory) - 2; i >= 0; i-- {
+		r := &trajectory[i]
+		if r.Scale != last.Scale || r.Seed != last.Seed || r.Workers != last.Workers {
+			continue
+		}
+		// Workers 0 means "all CPUs", so the effective parallelism is
+		// GOMAXPROCS: records from machines of different widths are not
+		// comparable then.
+		if last.Workers == 0 && r.GOMAXPROCS != last.GOMAXPROCS {
+			continue
+		}
+		prev = r
+		break
+	}
+	if prev == nil {
+		return fmt.Errorf("bench-compare: no earlier record matches the last one (scale %v, seed %d, workers %d, GOMAXPROCS %d)",
+			last.Scale, last.Seed, last.Workers, last.GOMAXPROCS)
+	}
+
+	fmt.Fprintf(w, "# bench-compare: %s\n", path)
+	fmt.Fprintf(w, "# old: %s  %s (%s)\n", prev.Timestamp, short(prev.GitCommit), prev.GoVersion)
+	fmt.Fprintf(w, "# new: %s  %s (%s)\n", last.Timestamp, short(last.GitCommit), last.GoVersion)
+	fmt.Fprintf(w, "# scale %v, seed %d, workers %d, GOMAXPROCS %d -> %d\n",
+		last.Scale, last.Seed, last.Workers, prev.GOMAXPROCS, last.GOMAXPROCS)
+
+	oldSecs := make(map[string]float64, len(prev.Experiments))
+	for _, p := range prev.Experiments {
+		oldSecs[p.ID] = p.Seconds
+	}
+	ids := make([]string, 0, len(last.Experiments))
+	newSecs := make(map[string]float64, len(last.Experiments))
+	for _, p := range last.Experiments {
+		ids = append(ids, p.ID)
+		newSecs[p.ID] = p.Seconds
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(w, "%-28s %10s %10s %9s\n", "experiment", "old_s", "new_s", "delta")
+	for _, id := range ids {
+		after := newSecs[id]
+		before, ok := oldSecs[id]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %10s %10.3f %9s\n", id, "-", after, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %10.3f %10.3f %+8.1f%%\n", id, before, after, 100*(after-before)/before)
+	}
+	for _, p := range prev.Experiments {
+		if _, ok := newSecs[p.ID]; !ok {
+			fmt.Fprintf(w, "%-28s %10.3f %10s %9s\n", p.ID, p.Seconds, "-", "gone")
+		}
+	}
+	fmt.Fprintf(w, "%-28s %10.3f %10.3f %+8.1f%%\n", "total",
+		prev.TotalSeconds, last.TotalSeconds,
+		100*(last.TotalSeconds-prev.TotalSeconds)/prev.TotalSeconds)
+	return nil
+}
+
+// short truncates a commit hash for display, keeping any +dirty suffix.
+func short(commit string) string {
+	const n = 12
+	if len(commit) <= n {
+		return commit
+	}
+	suffix := ""
+	if len(commit) > 6 && commit[len(commit)-6:] == "+dirty" {
+		suffix = "+dirty"
+	}
+	return commit[:n] + suffix
+}

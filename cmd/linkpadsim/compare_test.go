@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrajectory writes a synthetic bench trajectory file.
+func writeTrajectory(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchComparePicksMatchingRecord(t *testing.T) {
+	// Three records: the middle one has a different scale and must be
+	// skipped; the first is the comparable baseline for the last.
+	path := writeTrajectory(t, `[
+  {"timestamp":"2026-01-01T00:00:00Z","git_commit":"aaaaaaaaaaaaaaaa","go_version":"go1.24","gomaxprocs":8,
+   "scale":0.5,"seed":1,"workers":0,"total_seconds":10,
+   "experiments":[{"id":"fig4b","seconds":4,"rows":5},{"id":"gone-exp","seconds":6,"rows":1}]},
+  {"timestamp":"2026-01-02T00:00:00Z","git_commit":"bbbbbbbbbbbbbbbb","go_version":"go1.24","gomaxprocs":8,
+   "scale":1.0,"seed":1,"workers":0,"total_seconds":99,
+   "experiments":[{"id":"fig4b","seconds":99,"rows":5}]},
+  {"timestamp":"2026-01-03T00:00:00Z","git_commit":"cccccccccccccccc","go_version":"go1.24","gomaxprocs":8,
+   "scale":0.5,"seed":1,"workers":0,"total_seconds":8,
+   "experiments":[{"id":"fig4b","seconds":2,"rows":5},{"id":"new-exp","seconds":6,"rows":2}]}
+]`)
+	var sb strings.Builder
+	if err := runBenchCompare(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"old: 2026-01-01T00:00:00Z", // the scale-1.0 record was skipped
+		"new: 2026-01-03T00:00:00Z",
+		"-50.0%", // fig4b: 4s -> 2s
+		"new",    // new-exp has no baseline
+		"gone",   // gone-exp vanished
+		"-20.0%", // total: 10s -> 8s
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchCompareErrors(t *testing.T) {
+	if err := runBenchCompare(&strings.Builder{}, filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	one := writeTrajectory(t, `[{"timestamp":"t","scale":0.5,"seed":1,"workers":0,"experiments":[]}]`)
+	if err := runBenchCompare(&strings.Builder{}, one); err == nil {
+		t.Error("single record should fail")
+	}
+	mismatched := writeTrajectory(t, `[
+  {"timestamp":"t1","scale":0.5,"seed":1,"workers":0,"experiments":[]},
+  {"timestamp":"t2","scale":1.0,"seed":1,"workers":0,"experiments":[]}
+]`)
+	if err := runBenchCompare(&strings.Builder{}, mismatched); err == nil {
+		t.Error("no comparable record should fail")
+	}
+	garbage := writeTrajectory(t, `{"not":"a trajectory"}`)
+	if err := runBenchCompare(&strings.Builder{}, garbage); err == nil {
+		t.Error("non-trajectory JSON should fail")
+	}
+	// workers=0 means "all CPUs": records from machines of different
+	// widths are not comparable.
+	widths := writeTrajectory(t, `[
+  {"timestamp":"t1","gomaxprocs":1,"scale":0.5,"seed":1,"workers":0,"experiments":[]},
+  {"timestamp":"t2","gomaxprocs":16,"scale":0.5,"seed":1,"workers":0,"experiments":[]}
+]`)
+	if err := runBenchCompare(&strings.Builder{}, widths); err == nil {
+		t.Error("workers=0 records with different GOMAXPROCS should not be comparable")
+	}
+}

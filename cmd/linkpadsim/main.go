@@ -7,6 +7,7 @@
 //	linkpadsim -exp fig4b [-scale 1.0] [-seed 1] [-format text|csv] [-workers N]
 //	linkpadsim -exp all -o results/
 //	linkpadsim -exp all -bench-json BENCH.json
+//	linkpadsim -bench-compare BENCH.json
 //
 // Each experiment prints the series the corresponding paper figure plots;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -32,17 +33,21 @@ func main() {
 
 func run() error {
 	var (
-		expID     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list      = flag.Bool("list", false, "list available experiments")
-		scale     = flag.Float64("scale", 1.0, "Monte Carlo effort multiplier")
-		seed      = flag.Uint64("seed", 1, "master random seed")
-		workers   = flag.Int("workers", 0, "parallelism (0 = all CPUs); results are identical at any width")
-		format    = flag.String("format", "text", "output format: text or csv")
-		outDir    = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
-		benchJSON = flag.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
+		expID        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list         = flag.Bool("list", false, "list available experiments")
+		scale        = flag.Float64("scale", 1.0, "Monte Carlo effort multiplier")
+		seed         = flag.Uint64("seed", 1, "master random seed")
+		workers      = flag.Int("workers", 0, "parallelism (0 = all CPUs); results are identical at any width")
+		format       = flag.String("format", "text", "output format: text or csv")
+		outDir       = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
+		benchJSON    = flag.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
+		benchCompare = flag.String("bench-compare", "", "print per-experiment wall-clock deltas between the last two comparable records (same scale/seed/workers) of this bench trajectory file")
 	)
 	flag.Parse()
 
+	if *benchCompare != "" {
+		return runBenchCompare(os.Stdout, *benchCompare)
+	}
 	if *list {
 		for _, id := range experiment.Names() {
 			fmt.Println(id)

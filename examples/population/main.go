@@ -1,0 +1,66 @@
+// Population demonstrates the multi-user engine end to end: dozens of
+// senders with private recipient profiles share a padded infrastructure,
+// and a global passive adversary runs the two canonical population-scale
+// attacks against it — statistical disclosure (who talks to whom, from
+// mix rounds) and per-flow throughput-fingerprint correlation (which
+// egress flow belongs to which ingress user). Cover traffic resists the
+// first; timer padding defeats the second.
+//
+// Run with: go run ./examples/population
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: statistical disclosure against the shared batching mix.
+	// Every round the mix flushes 8 messages; the adversary contrasts
+	// rounds with and without each target until the target's contact set
+	// stands out of the background. Cover traffic (dummy messages to
+	// random recipients) buys rounds.
+	fmt.Println("statistical disclosure: 48 users, 60 recipients, 3 contacts each")
+	for _, cover := range []float64{0, 2} {
+		res, err := sys.RunDisclosure(linkpad.PopulationSpec{
+			Users:      48,
+			Recipients: 60,
+			CoverRate:  cover,
+		}, linkpad.DisclosureConfig{MaxRounds: 6000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  cover %.0fx: %2.0f%% of targets disclosed, mean %4.0f rounds, residual anonymity %.2f\n",
+			cover, 100*res.DisclosedFrac, res.MeanRounds, res.MeanAnonymity)
+	}
+
+	// Part 2: per-flow correlation against padded links. The adversary
+	// matches egress flows to ingress users by windowed rate correlation
+	// plus the paper's PIAT class features. Unpadded links lose every
+	// flow; CIT padding shrinks the leak to the rate class.
+	fmt.Println("flow correlation: 24 users, 60 s of observation per flow")
+	spec := linkpad.PopulationSpec{Users: 24, Recipients: 60}
+	raw, err := sys.RunFlowCorrelation(spec, linkpad.FlowCorrConfig{Duration: 60, Raw: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  unpadded: %3.0f%% of flows matched (mean rate correlation %.2f)\n",
+		100*raw.Accuracy, raw.MeanCorrTrue)
+	cit, err := sys.RunFlowCorrelation(spec, linkpad.FlowCorrConfig{
+		Duration: 60,
+		Features: []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  CIT padded: %3.0f%% of flows matched (correlation %.2f), but class identified for %.0f%%\n",
+		100*cit.Accuracy, cit.MeanCorrTrue, 100*cit.ClassAccuracy)
+	fmt.Println("padding hides the individual inside the class; only cover traffic hides who talks to whom")
+}

@@ -109,7 +109,18 @@ func (c *Classifier) PosteriorsBatch(s []float64) [][]float64 {
 // densities expose LogPDF. If the value has zero density under every
 // class, the log priors are returned, matching Posteriors.
 func (c *Classifier) LogPosteriors(s float64) []float64 {
-	lp := make([]float64, len(c.classes))
+	return c.LogPosteriorsInto(s, nil)
+}
+
+// LogPosteriorsInto is LogPosteriors writing into out (grown if needed)
+// and returning it, so per-observation scoring loops — the population
+// flow-correlation attack evaluates one posterior row per (user, flow)
+// pair — stay allocation-free with a reused buffer.
+func (c *Classifier) LogPosteriorsInto(s float64, out []float64) []float64 {
+	if cap(out) < len(c.classes) {
+		out = make([]float64, len(c.classes))
+	}
+	lp := out[:len(c.classes)]
 	for i, cl := range c.classes {
 		var ld float64
 		if l, ok := cl.Density.(LogDensity); ok {

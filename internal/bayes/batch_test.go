@@ -153,3 +153,25 @@ func TestTrainKDEGridMatchesExact(t *testing.T) {
 		t.Errorf("%d/%d grid-vs-exact classification disagreements", disagreements, samples)
 	}
 }
+
+// LogPosteriorsInto must agree with LogPosteriors and reuse its buffer
+// without allocating.
+func TestLogPosteriorsInto(t *testing.T) {
+	cls, _ := trainedKDEClassifier(t)
+	buf := make([]float64, 2)
+	for _, x := range []float64{-3, -1, 0, 0.5, 2, 10} {
+		want := cls.LogPosteriors(x)
+		got := cls.LogPosteriorsInto(x, buf)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("x=%v class %d: %v != %v", x, i, got[i], want[i])
+			}
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		buf = cls.LogPosteriorsInto(1.25, buf)
+	})
+	if avg > 0 {
+		t.Errorf("LogPosteriorsInto allocates %.2f objects with a sized buffer, want 0", avg)
+	}
+}

@@ -306,17 +306,38 @@ func (s *System) MixGateway(class int, streamID uint64) (*gateway.Mix, error) {
 	if err != nil {
 		return nil, err
 	}
-	spacing := s.cfg.Mix.SendSpacing
-	if spacing == 0 {
-		spacing = 120e-6
-	}
 	return gateway.NewMix(gateway.MixConfig{
 		K:           s.cfg.Mix.K,
-		SendSpacing: spacing,
+		SendSpacing: s.mixSpacing(),
 		Payload:     payload,
 		Jitter:      s.cfg.Jitter,
 		RNG:         master.Split(),
 	})
+}
+
+// timerPolicy builds the configured timer policy (adaptive, VIT or CIT),
+// drawing any policy randomness from master. Shared by every protocol
+// that assembles a gateway, so a policy added or changed here changes
+// all of them together.
+func (s *System) timerPolicy(master *xrand.Rand) (gateway.TimerPolicy, error) {
+	switch {
+	case s.cfg.Adaptive != nil:
+		return gateway.NewAdaptive(s.cfg.Tau,
+			s.cfg.Adaptive.IdleFactor*s.cfg.Tau, s.cfg.Adaptive.IdleAfter)
+	case s.cfg.SigmaT > 0:
+		return gateway.NewVIT(s.cfg.Tau, s.cfg.SigmaT, master.Split())
+	default:
+		return gateway.NewCIT(s.cfg.Tau)
+	}
+}
+
+// mixSpacing resolves the configured mix burst spacing (default 120 µs:
+// 1500 B at 100 Mbit/s).
+func (s *System) mixSpacing() float64 {
+	if s.cfg.Mix.SendSpacing != 0 {
+		return s.cfg.Mix.SendSpacing
+	}
+	return 120e-6
 }
 
 // buildGateway assembles the payload source, timer policy and gateway for
@@ -331,16 +352,7 @@ func (s *System) buildGateway(class int, streamID uint64) (*gateway.Gateway, *xr
 	if err != nil {
 		return nil, nil, err
 	}
-	var policy gateway.TimerPolicy
-	switch {
-	case s.cfg.Adaptive != nil:
-		policy, err = gateway.NewAdaptive(s.cfg.Tau,
-			s.cfg.Adaptive.IdleFactor*s.cfg.Tau, s.cfg.Adaptive.IdleAfter)
-	case s.cfg.SigmaT > 0:
-		policy, err = gateway.NewVIT(s.cfg.Tau, s.cfg.SigmaT, master.Split())
-	default:
-		policy, err = gateway.NewCIT(s.cfg.Tau)
-	}
+	policy, err := s.timerPolicy(master)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -386,6 +398,19 @@ func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 		}
 		stream, master = gw, m
 	}
+	stream, err := s.observationChain(stream, master)
+	if err != nil {
+		return nil, err
+	}
+	return netem.NewDiffer(stream), nil
+}
+
+// observationChain layers the unprotected network path and the tap
+// imperfections over a padded departure stream, in the fixed order every
+// observation protocol shares: hops (exact routers or the stationary
+// sampler), then capture loss, then clock quantization. All randomness
+// is drawn from master in that order.
+func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (netem.TimeStream, error) {
 	var err error
 	switch {
 	case len(s.cfg.Hops) > 0 && s.cfg.ExactNetwork:
@@ -429,7 +454,7 @@ func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 			return nil, err
 		}
 	}
-	return netem.NewDiffer(stream), nil
+	return stream, nil
 }
 
 // AttackConfig describes one adversary experiment against the system.
@@ -492,17 +517,6 @@ type AttackResult struct {
 	// TheoryDetectionRate evaluates the paper's closed-form theorem at
 	// EmpiricalR (two-class systems only; 0 otherwise).
 	TheoryDetectionRate float64
-}
-
-// windowStreamID derives the stream replica ID for trial window w of the
-// given phase base ID. Spreading windows across the high bits keeps them
-// disjoint from the phase bases (small integers) and the diagnostics
-// streams (base+1000), so every trial sees an independent realization of
-// the system — which is what makes trial-level parallelism reproducible:
-// window w's feature depends only on (seed, class, w), never on worker
-// scheduling.
-func windowStreamID(base uint64, w int) uint64 {
-	return base + (uint64(w)+1)<<32
 }
 
 // RunAttack trains the adversary on fresh replicas of the system and

@@ -1,0 +1,77 @@
+package core
+
+// Stream-ID domains.
+//
+// Every stream a System hands out is derived from (seed, class, streamID)
+// via streamSeed, so the streamID space is the only thing keeping the
+// observation protocols apart: two equal IDs observe the *identical*
+// realization. This file is the single registry of how that 64-bit space
+// is carved up. Each protocol owns one domain, selected by the top bits,
+// and spreads its internal structure across the bits below; the
+// cross-domain collision test (domains_test.go) enforces that the domains
+// stay disjoint.
+//
+//	bit 63         bit 62         bits 32..61           bits 0..31
+//	session flag   population flag  window/session index  phase base / user+role
+//
+// Replica domain (bits 63..62 clear): the i.i.d.-window protocol.
+// Phase base IDs are small integers in the low 32 bits (training 1,
+// evaluation 2, diagnostics base+1000, padCost 99, ...); trial window w
+// of base b reads stream windowStreamID(b, w) = b + (w+1)·2³², so window
+// indices occupy bits 32 and up. The spreading reaches bit 62 — the
+// population flag — at w+1 = 2³⁰, so window (and session) indices must
+// stay below 2³⁰−1; real sweeps use at most tens of thousands.
+//
+// Session domain (bit 63 set): the continuous-stream protocol
+// (core.Session). Session s of phase base b reads b + (s+1)·2³² with
+// bit 63 ORed in, mirroring the replica spreading one domain over.
+//
+// Population domain (bit 62 set, bit 63 clear): the multi-user engine
+// (core population entry points). User u's streams read
+// populationStreamID(u, role): the user index occupies bits 8..39 and the
+// low byte selects the role — the per-user payload process, cover
+// process, recipient draws, and padded-link chain are disjoint streams of
+// the same user. Population index spreading therefore never reaches
+// bit 62 (user indices are bounded far below 2³²), and the flag keeps the
+// domain disjoint from both protocols above.
+const (
+	// sessionDomain tags the stream IDs of continuous sessions (bit 63).
+	sessionDomain = uint64(1) << 63
+	// populationDomain tags the stream IDs of population users (bit 62).
+	populationDomain = uint64(1) << 62
+)
+
+// Population role sub-streams within one user's ID block (low byte of the
+// stream ID). Every stochastic element a user owns reads its own role
+// stream, so the engine can build them independently and in any order.
+const (
+	// popRolePayload drives the user's real message arrivals.
+	popRolePayload = iota
+	// popRoleCover drives the user's cover (dummy) arrivals.
+	popRoleCover
+	// popRoleProfile draws the user's recipient profile and per-message
+	// recipient choices.
+	popRoleProfile
+	// popRoleLink drives the user's padded-link chain (gateway jitter,
+	// timer policy, network path) for per-flow observations.
+	popRoleLink
+)
+
+// windowStreamID derives the stream replica ID for trial window w of the
+// given phase base ID. Spreading windows across the high bits keeps them
+// disjoint from the phase bases (small integers) and the diagnostics
+// streams (base+1000), so every trial sees an independent realization of
+// the system — which is what makes trial-level parallelism reproducible:
+// window w's feature depends only on (seed, class, w), never on worker
+// scheduling.
+func windowStreamID(base uint64, w int) uint64 {
+	return base + (uint64(w)+1)<<32
+}
+
+// populationStreamID derives the stream ID of one role stream of
+// population user u. The population flag keeps the whole block disjoint
+// from the replica and session protocols; the user index and role keep
+// users and their internal elements disjoint from each other.
+func populationStreamID(user int, role uint64) uint64 {
+	return populationDomain | uint64(user)<<8 | role
+}

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+// The three observation protocols must draw from pairwise-disjoint
+// stream-ID ranges: a collision would mean two protocols observe the
+// *identical* realization of the system, silently correlating data that
+// the threat model requires to be independent. Sweep the realistic
+// parameter ranges of each domain and check every pair of domains is
+// disjoint, and that IDs within a domain are distinct across distinct
+// parameters.
+func TestStreamDomainsDisjoint(t *testing.T) {
+	seen := map[uint64]string{}
+	add := func(id uint64, who string) {
+		t.Helper()
+		if prev, dup := seen[id]; dup && prev != who {
+			t.Fatalf("stream ID %#x claimed by both %s and %s", id, prev, who)
+		} else if dup {
+			t.Fatalf("stream ID %#x derived twice within %s", id, who)
+		}
+		seen[id] = who
+	}
+
+	// Replica domain: phase bases are small integers (training 1, eval 2,
+	// diagnostics base+1000, padCost 99); window counts reach the tens of
+	// thousands at full scale — sweep past that and spot-check the extreme
+	// the spreading bound documents (w+1 < 2^30; one index higher would
+	// reach the population flag at bit 62).
+	bases := []uint64{1, 2, 99, 1002, 65535}
+	windows := []int{0, 1, 1000, 100000, 1<<30 - 2}
+	for _, b := range bases {
+		for _, w := range windows {
+			add(windowStreamID(b, w), "replica")
+		}
+	}
+
+	// Session domain: same base/index spreading, bit 63 ORed in by
+	// NewSession.
+	for _, b := range bases {
+		for _, s := range windows {
+			add(windowStreamID(b, s)|sessionDomain, "session")
+		}
+	}
+
+	// Population domain: user × role blocks under bit 62.
+	users := []int{0, 1, 7, 1000, 1 << 20}
+	for _, u := range users {
+		for role := uint64(popRolePayload); role <= popRoleLink; role++ {
+			add(populationStreamID(u, role), "population")
+		}
+	}
+
+	// The flags themselves must disagree: session sets bit 63, population
+	// sets bit 62 only, replica sets neither.
+	if sessionDomain&populationDomain != 0 {
+		t.Fatal("session and population domain flags overlap")
+	}
+	for _, b := range bases {
+		for _, w := range windows {
+			if id := windowStreamID(b, w); id&(sessionDomain|populationDomain) != 0 {
+				t.Fatalf("replica ID %#x (base %d, w %d) reaches a domain flag bit", id, b, w)
+			}
+		}
+	}
+	for _, u := range users {
+		if id := populationStreamID(u, popRoleLink); id&sessionDomain != 0 {
+			t.Fatalf("population ID %#x (user %d) reaches the session flag", id, u)
+		}
+	}
+}

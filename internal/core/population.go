@@ -1,0 +1,425 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"linkpad/internal/adversary"
+	"linkpad/internal/analytic"
+	"linkpad/internal/bayes"
+	"linkpad/internal/gateway"
+	"linkpad/internal/netem"
+	"linkpad/internal/population"
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// Population entry points: a System description plus a PopulationSpec
+// instantiate the multi-user engine (internal/population) against the
+// system's rate classes and padding policy. Every user's streams derive
+// from (seed, class, userID) in the population stream domain
+// (domains.go), so populations never share randomness with the replica
+// or session protocols, and users — the unit of parallelism — never
+// share randomness with each other.
+
+// PopulationSpec describes a user population layered on the system: who
+// sends (rate classes via ClassMix), to whom (contact profiles over a
+// shared recipient space), and how much cover traffic accompanies the
+// real messages.
+type PopulationSpec struct {
+	// Users is the population size (at least 2).
+	Users int
+	// Recipients is the size of the shared recipient space (at least 4).
+	Recipients int
+	// Contacts is each user's contact-set size (0 = default 3); at most
+	// Recipients/2.
+	Contacts int
+	// ContactWeight is the probability mass a user's messages place on
+	// its contact set (0 = default 0.7).
+	ContactWeight float64
+	// CoverRate adds a per-user dummy (cover) Poisson stream at
+	// CoverRate × the user's payload rate. Cover messages are
+	// indistinguishable at the ingress tap and are delivered to
+	// uniformly random recipients. Mutually exclusive with CoverToPPS.
+	CoverRate float64
+	// CoverToPPS instead pads each user's total send rate up to an
+	// absolute target (packets/second): cover rate = max(0,
+	// CoverToPPS − payload rate). This is how policies are compared at
+	// matched overhead. Mutually exclusive with CoverRate.
+	CoverToPPS float64
+	// ClassMix weighs the system's rate classes in the population
+	// (len(Rates) entries, positive); nil means equal shares. Users are
+	// striped deterministically: user u's class is fixed by u alone.
+	ClassMix []float64
+}
+
+// withDefaults fills zero fields.
+func (p PopulationSpec) withDefaults() PopulationSpec {
+	if p.Contacts == 0 {
+		p.Contacts = 3
+	}
+	if p.ContactWeight == 0 {
+		p.ContactWeight = 0.7
+	}
+	return p
+}
+
+// validate checks the spec against the system.
+func (s *System) validatePopulation(spec PopulationSpec) error {
+	if spec.Users < 2 {
+		return errors.New("core: population needs at least two users")
+	}
+	if spec.Recipients < 4 {
+		return errors.New("core: population needs at least four recipients")
+	}
+	if spec.Contacts < 1 || spec.Contacts > spec.Recipients/2 {
+		return fmt.Errorf("core: population contacts %d out of range [1, %d]",
+			spec.Contacts, spec.Recipients/2)
+	}
+	if !(spec.ContactWeight > 0 && spec.ContactWeight <= 1) {
+		return errors.New("core: population contact weight must be in (0,1]")
+	}
+	if spec.CoverRate < 0 || spec.CoverToPPS < 0 {
+		return errors.New("core: population cover rates must be non-negative")
+	}
+	if spec.CoverRate > 0 && spec.CoverToPPS > 0 {
+		return errors.New("core: CoverRate and CoverToPPS are mutually exclusive")
+	}
+	if spec.ClassMix != nil {
+		if len(spec.ClassMix) != len(s.cfg.Rates) {
+			return fmt.Errorf("core: ClassMix has %d entries for %d rate classes",
+				len(spec.ClassMix), len(s.cfg.Rates))
+		}
+		for i, w := range spec.ClassMix {
+			if !(w > 0) {
+				return fmt.Errorf("core: ClassMix entry %d must be positive", i)
+			}
+		}
+	}
+	return nil
+}
+
+// classCum returns the cumulative normalized class weights.
+func (s *System) classCum(spec PopulationSpec) []float64 {
+	m := len(s.cfg.Rates)
+	cum := make([]float64, m)
+	var total float64
+	for c := 0; c < m; c++ {
+		w := 1.0
+		if spec.ClassMix != nil {
+			w = spec.ClassMix[c]
+		}
+		total += w
+		cum[c] = total
+	}
+	for c := range cum {
+		cum[c] /= total
+	}
+	return cum
+}
+
+// classOf stripes user u's class deterministically by the cumulative
+// weights: the class depends only on (u, Users, ClassMix), never on any
+// random stream.
+func classOf(u, users int, cum []float64) int {
+	x := (float64(u) + 0.5) / float64(users)
+	for c, v := range cum {
+		if x < v {
+			return c
+		}
+	}
+	return len(cum) - 1
+}
+
+// coverPPS returns user-level cover rate for a payload rate.
+func (spec PopulationSpec) coverPPS(payload float64) float64 {
+	if spec.CoverToPPS > 0 {
+		if c := spec.CoverToPPS - payload; c > 0 {
+			return c
+		}
+		return 0
+	}
+	return spec.CoverRate * payload
+}
+
+// NewPopulation instantiates the multi-user engine: every user gets a
+// private message source (the system's payload model at its class rate),
+// an optional cover source, and a recipient profile, all derived from
+// (seed, class, userID) role streams in the population domain.
+func (s *System) NewPopulation(spec PopulationSpec) (*population.Engine, error) {
+	spec = spec.withDefaults()
+	if err := s.validatePopulation(spec); err != nil {
+		return nil, err
+	}
+	cum := s.classCum(spec)
+	users := make([]population.User, spec.Users)
+	for u := range users {
+		class := classOf(u, spec.Users, cum)
+		pps := s.cfg.Rates[class].PPS
+		payload, err := s.payloadSource(class,
+			xrand.New(s.streamSeed(class, populationStreamID(u, popRolePayload))))
+		if err != nil {
+			return nil, err
+		}
+		var cover traffic.Source
+		if c := spec.coverPPS(pps); c > 0 {
+			cover, err = traffic.NewPoisson(c,
+				xrand.New(s.streamSeed(class, populationStreamID(u, popRoleCover))))
+			if err != nil {
+				return nil, err
+			}
+		}
+		prng := xrand.New(s.streamSeed(class, populationStreamID(u, popRoleProfile)))
+		profile, err := population.NewProfile(spec.Recipients, spec.Contacts, spec.ContactWeight, prng)
+		if err != nil {
+			return nil, err
+		}
+		// The profile construction consumed a prefix of the role stream;
+		// the same stream continues as the user's per-message recipient
+		// draws, keeping every draw a function of (seed, class, userID).
+		users[u] = population.User{
+			Class:    class,
+			Messages: payload,
+			Cover:    cover,
+			Profile:  profile,
+			RNG:      prng,
+		}
+	}
+	return population.NewEngine(users, spec.Recipients)
+}
+
+// RunDisclosure runs the round-based statistical disclosure attack
+// against a fresh population: the engine forms threshold-mix rounds of
+// cfg.Batch messages and the adversary contrasts rounds with and without
+// each target. Results are identical at any cfg.Workers width.
+func (s *System) RunDisclosure(spec PopulationSpec, cfg population.DisclosureConfig) (*population.DisclosureResult, error) {
+	eng, err := s.NewPopulation(spec)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunDisclosure(cfg)
+}
+
+// FlowCorrConfig parameterizes the population flow-correlation attack
+// run through a System: the attack-side knobs mirror
+// population.FlowCorrConfig, plus the off-line training effort for the
+// PIAT class classifiers.
+type FlowCorrConfig struct {
+	// Duration is the per-flow observation time in stream seconds
+	// (0 = 60).
+	Duration float64
+	// RateWindow is the throughput-fingerprint bin width (0 = 1 s).
+	RateWindow float64
+	// CorrWeight scales rate correlation against the class posterior
+	// (0 = default).
+	CorrWeight float64
+	// Features are the PIAT statistics the class classifiers use; empty
+	// runs a pure rate-correlation attack. Ignored when Raw is set (an
+	// unpadded link needs no class fingerprint).
+	Features []analytic.Feature
+	// FeatureWindow is the PIAT count per feature value (0 = 200).
+	FeatureWindow int
+	// TrainWindows is the number of off-line training windows per class
+	// for the classifiers (0 = 120).
+	TrainWindows int
+	// Raw bypasses the padding entirely — the egress flow is the raw
+	// payload stream — as the no-countermeasure baseline.
+	Raw bool
+	// Workers bounds the per-user/per-window parallelism; results are
+	// identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c FlowCorrConfig) withDefaults() FlowCorrConfig {
+	if c.Duration == 0 {
+		c.Duration = 60
+	}
+	if c.FeatureWindow == 0 {
+		c.FeatureWindow = 200
+	}
+	if c.TrainWindows == 0 {
+		c.TrainWindows = 120
+	}
+	if c.Raw {
+		c.Features = nil
+	}
+	return c
+}
+
+// rawLink is the unpadded baseline link: egress equals ingress.
+type rawLink struct {
+	src traffic.Source
+	now float64
+	tap func(t float64)
+}
+
+// Next returns the next (unpadded) departure time.
+func (l *rawLink) Next() float64 {
+	l.now += l.src.Next()
+	if l.tap != nil {
+		l.tap(l.now)
+	}
+	return l.now
+}
+
+// flowLink assembles one population user link: the user's merged
+// payload+cover stream entering the system's padding policy (CIT/VIT/
+// adaptive gateway, or per-user mix, via the shared timerPolicy /
+// mixSpacing construction), followed by the system's network path and
+// tap imperfections (observationChain), with an optional ingress tap
+// observing the merged arrivals before the padding. All randomness comes
+// from master, so a link is deterministic from its stream seed.
+func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, error) {
+	payload, err := s.payloadSource(class, master.Split())
+	if err != nil {
+		return nil, err
+	}
+	var src traffic.Source = payload
+	if c := spec.coverPPS(s.cfg.Rates[class].PPS); c > 0 {
+		cover, err := traffic.NewPoisson(c, master.Split())
+		if err != nil {
+			return nil, err
+		}
+		src, err = traffic.NewSuperpose(payload, cover)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var stream netem.TimeStream
+	switch {
+	case raw:
+		// The unpadded anchor still crosses the network and the tap, so
+		// the comparison isolates the padding policy alone.
+		stream = &rawLink{src: src, tap: tap}
+	case s.cfg.Mix != nil:
+		stream, err = gateway.NewMix(gateway.MixConfig{
+			K:           s.cfg.Mix.K,
+			SendSpacing: s.mixSpacing(),
+			Payload:     src,
+			Jitter:      s.cfg.Jitter,
+			RNG:         master.Split(),
+			ArrivalTap:  tap,
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		policy, err := s.timerPolicy(master)
+		if err != nil {
+			return nil, err
+		}
+		stream, err = gateway.New(gateway.Config{
+			Policy:     policy,
+			Jitter:     s.cfg.Jitter,
+			Payload:    src,
+			RNG:        master.Split(),
+			ArrivalTap: tap,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.observationChain(stream, master)
+}
+
+// phantomUserBase offsets the user indices of the adversary's off-line
+// training flows, so the training corpus and the run-time population
+// observe disjoint realizations within the population domain. Real
+// populations stay far below this index.
+const phantomUserBase = 1 << 24
+
+// RunFlowCorrelation runs the per-flow correlation attack end to end:
+// the adversary first trains per-class PIAT classifiers on phantom
+// training flows (fresh realizations of the same link construction, so
+// training observes cover traffic and batching exactly as run time
+// does), then observes every user's padded flow for cfg.Duration and
+// matches egress flows to ingress users by throughput-fingerprint
+// correlation plus class posteriors. Results are identical at any
+// cfg.Workers width; users are the unit of parallelism.
+func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*population.FlowCorrResult, error) {
+	spec = spec.withDefaults()
+	if err := s.validatePopulation(spec); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.TrainWindows < 2 {
+		return nil, errors.New("core: flow correlation needs at least two training windows per class")
+	}
+	cum := s.classCum(spec)
+	m := len(s.cfg.Rates)
+
+	// Off-line phase: per-class feature densities from phantom flows.
+	var classifiers []*bayes.Classifier
+	var exts []adversary.Extractor
+	if len(cfg.Features) > 0 {
+		exts = make([]adversary.Extractor, len(cfg.Features))
+		for i, f := range cfg.Features {
+			exts[i] = adversary.Extractor{Feature: f}
+		}
+		labels := s.Labels()
+		trainPerClass := make([][][]float64, m)
+		for c := 0; c < m; c++ {
+			class := c
+			factory := func(w int) (adversary.PIATSource, error) {
+				master := xrand.New(s.streamSeed(class,
+					populationStreamID(phantomUserBase+class*cfg.TrainWindows+w, popRoleLink)))
+				link, err := s.flowLink(spec, class, cfg.Raw, master, nil)
+				if err != nil {
+					return nil, err
+				}
+				return netem.NewDiffer(link), nil
+			}
+			mat, err := adversary.FeatureMatrix(factory, exts,
+				cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("core: training class %q: %w", labels[c], err)
+			}
+			trainPerClass[c] = mat
+		}
+		classifiers = make([]*bayes.Classifier, len(exts))
+		for fi := range exts {
+			perClass := make([][]float64, m)
+			for c := 0; c < m; c++ {
+				perClass[c] = trainPerClass[c][fi]
+			}
+			cls, err := bayes.TrainKDE(labels, perClass, nil)
+			if err != nil {
+				return nil, err
+			}
+			classifiers[fi] = cls
+		}
+	}
+
+	// Run-time phase: observe every user's flow and correlate.
+	sim := func(u int, duration float64) (*population.Flow, error) {
+		class := classOf(u, spec.Users, cum)
+		master := xrand.New(s.streamSeed(class, populationStreamID(u, popRoleLink)))
+		flow := &population.Flow{Class: class}
+		link, err := s.flowLink(spec, class, cfg.Raw, master, func(t float64) {
+			if t <= duration {
+				flow.Ingress = append(flow.Ingress, t)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for {
+			t := link.Next()
+			if t > duration {
+				break
+			}
+			flow.Egress = append(flow.Egress, t)
+		}
+		return flow, nil
+	}
+	return population.CorrelateFlows(sim, spec.Users, population.FlowCorrConfig{
+		Duration:      cfg.Duration,
+		RateWindow:    cfg.RateWindow,
+		CorrWeight:    cfg.CorrWeight,
+		FeatureWindow: cfg.FeatureWindow,
+		Classifiers:   classifiers,
+		Extractors:    exts,
+		Workers:       cfg.Workers,
+	})
+}

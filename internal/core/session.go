@@ -11,13 +11,6 @@ import (
 	"linkpad/internal/par"
 )
 
-// sessionDomain tags the stream IDs of continuous sessions so they can
-// never collide with the i.i.d.-replica protocol's stream IDs: replica
-// windows use IDs of the form base + (w+1)·2³² with small bases (never
-// bit 63), sessions set bit 63. The two protocols therefore observe
-// disjoint realizations of the same system description.
-const sessionDomain = uint64(1) << 63
-
 // Session is one continuous observation of a class: a single realization
 // of the padded stream — payload arrivals, gateway queue and timer,
 // network queues, tap imperfections — whose PIAT sequence is consumed
@@ -189,6 +182,21 @@ type SessionAttackResult struct {
 	WindowDetectionRate float64
 }
 
+// validateEvalPhase rejects run-time misconfiguration shared by Evaluate
+// and RunAttackSession's fail-fast path, so both reject identically.
+func (a SessionAttackConfig) validateEvalPhase() error {
+	if uint32(a.TrainBase) == uint32(a.EvalBase) {
+		// Sessions are spread across the high bits (sessionID), so bases
+		// sharing their low 32 bits would alias evaluation sessions with
+		// training sessions, not just at equal bases.
+		return errors.New("core: training and evaluation session ID bases must differ in their low 32 bits")
+	}
+	if !(a.Confidence > 0 && a.Confidence <= 1) {
+		return errors.New("core: confidence must be in (0,1]; 1 disables the anytime stop")
+	}
+	return nil
+}
+
 // sessionID derives the ID of session s in a phase's ID range, mirroring
 // windowStreamID's spreading.
 func sessionID(base uint64, s int) uint64 {
@@ -287,14 +295,8 @@ func (a *SessionAttacker) Evaluate(cfg SessionAttackConfig) (*SessionAttackResul
 	eval.EvalBase = cfg.EvalBase
 	eval.Workers = cfg.Workers
 	cfg = eval
-	if uint32(cfg.TrainBase) == uint32(cfg.EvalBase) {
-		// Sessions are spread across the high bits (sessionID), so bases
-		// sharing their low 32 bits would alias evaluation sessions with
-		// training sessions, not just at equal bases.
-		return nil, errors.New("core: training and evaluation session ID bases must differ in their low 32 bits")
-	}
-	if !(cfg.Confidence > 0 && cfg.Confidence <= 1) {
-		return nil, errors.New("core: confidence must be in (0,1]; 1 disables the anytime stop")
+	if err := cfg.validateEvalPhase(); err != nil {
+		return nil, err
 	}
 	if cfg.EvalSessions < 1 || cfg.MaxWindows < 1 {
 		return nil, errors.New("core: need at least one evaluation session and one window of budget")
@@ -426,14 +428,8 @@ func (a *SessionAttacker) Evaluate(cfg SessionAttackConfig) (*SessionAttackResul
 func (s *System) RunAttackSession(cfg SessionAttackConfig) (*SessionAttackResult, error) {
 	cfg = cfg.withDefaults()
 	// Fail fast on run-time misconfiguration before paying for training.
-	if uint32(cfg.TrainBase) == uint32(cfg.EvalBase) {
-		// Sessions are spread across the high bits (sessionID), so bases
-		// sharing their low 32 bits would alias evaluation sessions with
-		// training sessions, not just at equal bases.
-		return nil, errors.New("core: training and evaluation session ID bases must differ in their low 32 bits")
-	}
-	if !(cfg.Confidence > 0 && cfg.Confidence <= 1) {
-		return nil, errors.New("core: confidence must be in (0,1]; 1 disables the anytime stop")
+	if err := cfg.validateEvalPhase(); err != nil {
+		return nil, err
 	}
 	if m := len(s.cfg.Rates); cfg.Confidence < 1 && cfg.Confidence <= 1/float64(m) {
 		// Training uses equal priors; Evaluate re-checks against the

@@ -51,11 +51,11 @@ func col(tbl *Table, name string) []float64 {
 func TestRegistry(t *testing.T) {
 	names := Names()
 	want := []string{"ablation-binwidth", "ablation-crossmodel",
-		"ablation-payload", "ablation-tap", "ablation-theorygap",
-		"ablation-training", "ablation-windowing", "baseline-policies",
-		"ext-features", "ext-online", "ext-sizes", "fig4a", "fig4b",
-		"fig5a", "fig5b", "fig6", "fig8a", "fig8b", "multirate",
-		"validate-exactnet"}
+		"ablation-payload", "ablation-population-padding", "ablation-tap",
+		"ablation-theorygap", "ablation-training", "ablation-windowing",
+		"baseline-policies", "ext-disclosure", "ext-features", "ext-online",
+		"ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig8a",
+		"fig8b", "multirate", "validate-exactnet"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %v, want %v", names, want)
 	}
@@ -638,5 +638,89 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if (Options{Scale: 2}.withDefaults()).windows(100) != 200 {
 		t.Error("window scaling broken")
+	}
+}
+
+// The disclosure experiment's headline claim: at every fixed population
+// size, rounds-to-disclosure increases monotonically with the cover
+// rate (and the residual anonymity of the adversary's estimate rises
+// with it). Without cover, every population must disclose fully.
+func TestExtDisclosureCoverMonotone(t *testing.T) {
+	tbl := runTable(t, "ext-disclosure")
+	users := col(tbl, "users")
+	cover := col(tbl, "cover")
+	disclosed := col(tbl, "disclosed_frac")
+	rounds := col(tbl, "mean_rounds")
+	anon := col(tbl, "mean_anonymity")
+	perUsers := map[float64][]int{}
+	for i := range users {
+		perUsers[users[i]] = append(perUsers[users[i]], i)
+	}
+	if len(perUsers) < 2 {
+		t.Fatalf("expected at least two population sizes, got %d", len(perUsers))
+	}
+	for n, idx := range perUsers {
+		for k := 1; k < len(idx); k++ {
+			i, j := idx[k-1], idx[k]
+			if cover[j] <= cover[i] {
+				t.Fatalf("users=%v: cover levels not ascending", n)
+			}
+			if rounds[j] <= rounds[i] {
+				t.Errorf("users=%v: mean rounds %v at cover %v not above %v at cover %v",
+					n, rounds[j], cover[j], rounds[i], cover[i])
+			}
+			if anon[j] <= anon[i] {
+				t.Errorf("users=%v: anonymity %v at cover %v not above %v at cover %v",
+					n, anon[j], cover[j], anon[i], cover[i])
+			}
+		}
+		// Cover can only hurt disclosure coverage, and without cover the
+		// attack must disclose most targets (all of them in the smallest
+		// population, where every target appears in plenty of rounds).
+		for _, i := range idx[1:] {
+			if disclosed[i] > disclosed[idx[0]] {
+				t.Errorf("users=%v: disclosed %v at cover %v exceeds %v at cover 0",
+					n, disclosed[i], cover[i], disclosed[idx[0]])
+			}
+		}
+		if disclosed[idx[0]] < 0.75 {
+			t.Errorf("users=%v: cover 0 disclosed only %v of targets", n, disclosed[idx[0]])
+		}
+		if n == 24 && disclosed[idx[0]] != 1 {
+			t.Errorf("users=24: cover 0 disclosed %v of targets, want all", disclosed[idx[0]])
+		}
+	}
+}
+
+// The population padding ablation: the unpadded anchor loses every flow,
+// timer policies erase the throughput fingerprint (correlation ≈ 0,
+// matching near chance) while CIT's variance leak still identifies the
+// class, and the batching mix leaves the fingerprint on the wire even at
+// matched overhead.
+func TestAblationPopulationPadding(t *testing.T) {
+	tbl := runTable(t, "ablation-population-padding")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 policy rows, got %d", len(tbl.Rows))
+	}
+	acc := col(tbl, "flow_acc")
+	classAcc := col(tbl, "class_acc")
+	corr := col(tbl, "mean_corr_true")
+	const none, cit, vit, mix = 0, 1, 2, 3
+	if acc[none] != 1 || corr[none] < 0.99 {
+		t.Errorf("unpadded anchor should be fully correlated: acc %v corr %v", acc[none], corr[none])
+	}
+	for _, p := range []int{cit, vit} {
+		if acc[p] > 0.5 {
+			t.Errorf("policy %d: timer padding should break per-flow matching, acc %v", p, acc[p])
+		}
+		if corr[p] > 0.3 || corr[p] < -0.3 {
+			t.Errorf("policy %d: timer padding should erase the fingerprint, corr %v", p, corr[p])
+		}
+	}
+	if classAcc[cit] < 0.7 {
+		t.Errorf("CIT's variance leak should identify the class, class acc %v", classAcc[cit])
+	}
+	if acc[mix] < 0.9 || corr[mix] < 0.8 {
+		t.Errorf("batching should leave the fingerprint on the wire: acc %v corr %v", acc[mix], corr[mix])
 	}
 }

@@ -230,6 +230,12 @@ type Config struct {
 	// beyond the cap are dropped and counted (the paper's QoS coupling:
 	// padding rate must cover the payload rate or delay/loss grows).
 	QueueCap int
+	// ArrivalTap, when non-nil, observes the absolute arrival time of
+	// every payload packet reaching the gateway (dropped ones included) —
+	// the ingress observation point of a global passive adversary who
+	// watches both sides of the padded link. Purely an observer: it must
+	// not mutate the gateway, and leaving it nil changes nothing.
+	ArrivalTap func(t float64)
 }
 
 // Stats counts gateway activity, including the QoS side of the paper's
@@ -344,6 +350,9 @@ func (g *Gateway) NextPacket() (departure float64, dummy bool) {
 	for g.nextArrival <= g.sched {
 		arrivals++
 		g.stats.Arrivals++
+		if g.cfg.ArrivalTap != nil {
+			g.cfg.ArrivalTap(g.nextArrival)
+		}
 		if g.cfg.QueueCap > 0 && g.QueueLen() >= g.cfg.QueueCap {
 			g.stats.Dropped++
 		} else {

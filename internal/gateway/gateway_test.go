@@ -433,3 +433,46 @@ func TestGatewaySessionClock(t *testing.T) {
 		t.Errorf("Now (%v) should track the last departure (%v)", g.Now(), next)
 	}
 }
+
+// The ingress tap must observe every payload arrival (dropped ones
+// included) at its true arrival time, without disturbing the stream.
+func TestGatewayArrivalTap(t *testing.T) {
+	build := func(tap func(float64)) *Gateway {
+		cit, err := NewCIT(10e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := traffic.NewPoisson(40, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := New(Config{
+			Policy:     cit,
+			Jitter:     DefaultJitter(),
+			Payload:    payload,
+			RNG:        xrand.New(12),
+			ArrivalTap: tap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gw
+	}
+	var taps []float64
+	tapped := build(func(ts float64) { taps = append(taps, ts) })
+	plain := build(nil)
+	for i := 0; i < 2000; i++ {
+		if tapped.Next() != plain.Next() {
+			t.Fatal("the tap must not disturb the departure stream")
+		}
+	}
+	stats := tapped.Stats()
+	if uint64(len(taps)) != stats.Arrivals {
+		t.Fatalf("tap saw %d arrivals, gateway counted %d", len(taps), stats.Arrivals)
+	}
+	for i := 1; i < len(taps); i++ {
+		if taps[i] < taps[i-1] {
+			t.Fatalf("tap times not monotone at %d", i)
+		}
+	}
+}

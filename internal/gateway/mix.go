@@ -24,6 +24,7 @@ type Mix struct {
 	payload traffic.Source
 	jitter  JitterModel
 	rng     *xrand.Rand
+	tap     func(t float64)
 
 	nextArrival float64
 	pending     int       // packets of the current burst still to emit
@@ -51,6 +52,10 @@ type MixConfig struct {
 	Jitter JitterModel
 	// RNG drives the jitter (required).
 	RNG *xrand.Rand
+	// ArrivalTap, when non-nil, observes the absolute arrival time of
+	// every payload packet reaching the mix — the ingress side of a
+	// global passive adversary, mirroring gateway.Config.ArrivalTap.
+	ArrivalTap func(t float64)
 }
 
 // NewMix creates a mix.
@@ -76,6 +81,7 @@ func NewMix(cfg MixConfig) (*Mix, error) {
 		payload: cfg.Payload,
 		jitter:  cfg.Jitter,
 		rng:     cfg.RNG,
+		tap:     cfg.ArrivalTap,
 	}, nil
 }
 
@@ -93,6 +99,9 @@ func (m *Mix) Next() float64 {
 		for i := 0; i < m.k; i++ {
 			m.burstStart = m.nextArrival
 			m.batch = append(m.batch, m.nextArrival)
+			if m.tap != nil {
+				m.tap(m.nextArrival)
+			}
 			m.nextArrival += m.payload.Next()
 		}
 		m.pending = m.k

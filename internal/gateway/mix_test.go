@@ -123,3 +123,42 @@ func TestMixBurstGapsErlang(t *testing.T) {
 		t.Errorf("burst gap CV = %v, want %v", cv, 1/math.Sqrt(k))
 	}
 }
+
+// The mix ingress tap mirrors the gateway one: every collected payload
+// arrival, in order, without disturbing departures.
+func TestMixArrivalTap(t *testing.T) {
+	build := func(tap func(float64)) *Mix {
+		payload, err := traffic.NewPoisson(40, xrand.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMix(MixConfig{
+			K:           5,
+			SendSpacing: 120e-6,
+			Payload:     payload,
+			Jitter:      DefaultJitter(),
+			RNG:         xrand.New(22),
+			ArrivalTap:  tap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	var taps []float64
+	tapped := build(func(ts float64) { taps = append(taps, ts) })
+	plain := build(nil)
+	for i := 0; i < 1000; i++ {
+		if tapped.Next() != plain.Next() {
+			t.Fatal("the tap must not disturb the departure stream")
+		}
+	}
+	if uint64(len(taps)) != tapped.Packets() {
+		t.Fatalf("tap saw %d arrivals, mix emitted %d packets", len(taps), tapped.Packets())
+	}
+	for i := 1; i < len(taps); i++ {
+		if taps[i] < taps[i-1] {
+			t.Fatalf("tap times not monotone at %d", i)
+		}
+	}
+}

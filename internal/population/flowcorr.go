@@ -1,0 +1,326 @@
+package population
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"linkpad/internal/adversary"
+	"linkpad/internal/bayes"
+	"linkpad/internal/par"
+)
+
+// Flow correlation (flowcorr.go): the per-flow population attack. Every
+// user's padded link appears at the egress as an unlabeled flow; the
+// global adversary must match each egress flow back to its ingress user.
+// Two signals are combined:
+//
+//   - the throughput fingerprint (Mittal et al.): windowed packet-count
+//     vectors of the ingress and egress sides, matched by Pearson
+//     correlation (adversary.RateVector / adversary.Pearson). This
+//     identifies the *individual* whenever payload rate fluctuations
+//     survive the padding;
+//   - the paper's PIAT class features (adversary.MultiPipeline reduced to
+//     bayes class posteriors): even when padding flattens the throughput
+//     fingerprint, the µs-scale timing leak still identifies the flow's
+//     rate *class*, shrinking the anonymity set to the class population.
+//
+// The ingress side is unpadded, so the adversary reads each sender's
+// class off the ingress stream directly; we grant it the true ingress
+// class. Scores are combined additively in log space and flows are
+// assigned greedily, highest score first.
+
+// Flow is one user's padded link as the global adversary observes it:
+// ingress arrival times (the user's sends, cover included — the tap
+// cannot tell them apart) and egress departure times of the padded flow.
+type Flow struct {
+	// Class is the ground-truth rate class (known to the adversary from
+	// the unpadded ingress side).
+	Class int
+	// Ingress holds absolute ingress arrival times.
+	Ingress []float64
+	// Egress holds absolute egress departure times.
+	Egress []float64
+}
+
+// FlowSimulator produces user u's flow observation over the duration.
+// Implementations must derive all randomness from the user index so that
+// flows can be simulated in parallel deterministically (core provides
+// one wired to the System description).
+type FlowSimulator func(user int, duration float64) (*Flow, error)
+
+// FlowCorrConfig parameterizes the flow-correlation attack.
+type FlowCorrConfig struct {
+	// Duration is the observation time in stream seconds (required).
+	Duration float64
+	// RateWindow is the throughput-fingerprint bin width in seconds
+	// (0 = 1 s). The fingerprint has floor(Duration/RateWindow) bins.
+	RateWindow float64
+	// CorrWeight scales the rate-correlation term against the class
+	// log-posterior term (0 = 8; correlation spans [-1, 1], posteriors
+	// span [-postFloor, 0]).
+	CorrWeight float64
+	// FeatureWindow is the PIAT count reduced to one feature value per
+	// flow (0 = 200); it must match the window the classifiers were
+	// trained at.
+	FeatureWindow int
+	// Classifiers holds one per-feature class classifier (naive-Bayes
+	// combined); may be empty for a pure rate-correlation attack.
+	// Extractors must parallel it.
+	Classifiers []*bayes.Classifier
+	// Extractors are the feature extractors matching Classifiers.
+	Extractors []adversary.Extractor
+	// Workers bounds the per-user simulation parallelism; results are
+	// identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c FlowCorrConfig) withDefaults() FlowCorrConfig {
+	if c.RateWindow == 0 {
+		c.RateWindow = 1
+	}
+	if c.CorrWeight == 0 {
+		c.CorrWeight = 8
+	}
+	if c.FeatureWindow == 0 {
+		c.FeatureWindow = 200
+	}
+	return c
+}
+
+// postFloor bounds one class's log posterior from below so a single
+// out-of-support feature value cannot veto a pairing outright (the same
+// robustification bayes.Sequential applies to anytime decisions).
+const postFloor = 8.0
+
+// FlowCorrResult reports one flow-correlation attack.
+type FlowCorrResult struct {
+	// Users is the population size (= number of flows).
+	Users int
+	// Accuracy is the fraction of egress flows assigned to their true
+	// ingress user by the greedy matching.
+	Accuracy float64
+	// ClassAccuracy is the fraction of flows whose rate class the PIAT
+	// features identified (0 when no classifiers were supplied).
+	ClassAccuracy float64
+	// MeanRank averages the rank (1 = best) of the true user in each
+	// flow's score ordering — 1 means every flow ranks its own user
+	// first even before the matching resolves conflicts.
+	MeanRank float64
+	// MeanCorrTrue averages the rate correlation of the true
+	// (user, flow) pairs: the raw strength of the throughput
+	// fingerprint that survives the padding.
+	MeanCorrTrue float64
+}
+
+// flowObs is the reduced observation of one user/flow pair.
+type flowObs struct {
+	class   int
+	ingRate []float64
+	egRate  []float64
+	logPost []float64 // class log posteriors of the egress flow (clamped)
+}
+
+// CorrelateFlows runs the attack end to end: simulate every user's flow
+// (in parallel, users as the unit of parallelism), reduce each side to
+// its throughput fingerprint and class posteriors, score every
+// (user, flow) pair, and match greedily. Flow f's true ingress user is
+// user f; the adversary's scores never read that identity, only the
+// observations.
+func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorrResult, error) {
+	cfg = cfg.withDefaults()
+	if sim == nil {
+		return nil, errors.New("population: nil flow simulator")
+	}
+	if users < 2 {
+		return nil, errors.New("population: need at least two users")
+	}
+	if !(cfg.Duration > 0) {
+		return nil, errors.New("population: flow duration must be positive")
+	}
+	if len(cfg.Classifiers) != len(cfg.Extractors) {
+		return nil, errors.New("population: classifiers and extractors must parallel each other")
+	}
+	if cfg.FeatureWindow < 2 {
+		return nil, errors.New("population: feature window must be at least 2")
+	}
+	// Floor with an epsilon so a float-noisy integral ratio (60*0.7/1 =
+	// 41.99999...) keeps its last window instead of silently dropping the
+	// tail of both fingerprints.
+	bins := int(cfg.Duration/cfg.RateWindow + 1e-9)
+	if bins < 2 {
+		return nil, errors.New("population: need at least two rate windows over the duration")
+	}
+
+	obs := make([]flowObs, users)
+	workers := par.Workers(cfg.Workers)
+	if workers > users {
+		workers = users
+	}
+	pipes := make([]*adversary.MultiPipeline, workers)
+	outs := make([][]float64, workers)
+	piats := make([][]float64, workers)
+	lps := make([][]float64, workers)
+	for i := range pipes {
+		if len(cfg.Extractors) > 0 {
+			mp, err := adversary.NewMultiPipeline(cfg.Extractors)
+			if err != nil {
+				return nil, err
+			}
+			pipes[i] = mp
+			outs[i] = make([]float64, len(cfg.Extractors))
+		}
+	}
+	err := par.MapWorker(users, workers, func(worker, u int) error {
+		flow, err := sim(u, cfg.Duration)
+		if err != nil {
+			return fmt.Errorf("population: flow %d: %w", u, err)
+		}
+		o := &obs[u]
+		o.class = flow.Class
+		o.ingRate = make([]float64, bins)
+		o.egRate = make([]float64, bins)
+		if _, err := adversary.RateVector(flow.Ingress, 0, cfg.RateWindow, o.ingRate); err != nil {
+			return err
+		}
+		if _, err := adversary.RateVector(flow.Egress, 0, cfg.RateWindow, o.egRate); err != nil {
+			return err
+		}
+		if len(cfg.Classifiers) == 0 {
+			return nil
+		}
+		// Reduce the egress flow's first FeatureWindow PIATs to one value
+		// per feature, then to clamped class log posteriors.
+		if len(flow.Egress) < cfg.FeatureWindow+1 {
+			return fmt.Errorf("population: flow %d has %d egress packets, need %d for the feature window",
+				u, len(flow.Egress), cfg.FeatureWindow+1)
+		}
+		pb := piats[worker]
+		if cap(pb) < cfg.FeatureWindow {
+			pb = make([]float64, cfg.FeatureWindow)
+		}
+		pb = pb[:cfg.FeatureWindow]
+		for i := range pb {
+			pb[i] = flow.Egress[i+1] - flow.Egress[i]
+		}
+		piats[worker] = pb
+		if err := pipes[worker].ExtractFrom(adversary.NewReplay(pb), cfg.FeatureWindow, outs[worker]); err != nil {
+			return err
+		}
+		m := cfg.Classifiers[0].NumClasses()
+		o.logPost = make([]float64, m)
+		for fi, cls := range cfg.Classifiers {
+			lp := cls.LogPosteriorsInto(outs[worker][fi], lps[worker])
+			lps[worker] = lp
+			for c := 0; c < m; c++ {
+				v := lp[c]
+				if v < -postFloor {
+					v = -postFloor
+				}
+				o.logPost[c] += v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Score every (user, flow) pair: rate correlation plus the egress
+	// flow's posterior for the ingress user's class.
+	score := make([]float64, users*users)
+	corrTrue := 0.0
+	for f := 0; f < users; f++ {
+		for u := 0; u < users; u++ {
+			corr, err := adversary.Pearson(obs[u].ingRate, obs[f].egRate)
+			if err != nil {
+				return nil, err
+			}
+			v := cfg.CorrWeight * corr
+			if obs[f].logPost != nil {
+				v += obs[f].logPost[obs[u].class]
+			}
+			score[u*users+f] = v
+			if u == f {
+				corrTrue += corr
+			}
+		}
+	}
+
+	// Greedy matching: highest score first, deterministic tie-break on
+	// (user, flow) order.
+	type pair struct{ u, f int }
+	pairs := make([]pair, 0, users*users)
+	for u := 0; u < users; u++ {
+		for f := 0; f < users; f++ {
+			pairs = append(pairs, pair{u, f})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		si, sj := score[pairs[i].u*users+pairs[i].f], score[pairs[j].u*users+pairs[j].f]
+		if si != sj {
+			return si > sj
+		}
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
+		}
+		return pairs[i].f < pairs[j].f
+	})
+	assignedU := make([]bool, users)
+	assignedF := make([]int, users) // flow -> user
+	for i := range assignedF {
+		assignedF[i] = -1
+	}
+	matched := 0
+	for _, p := range pairs {
+		if matched == users {
+			break
+		}
+		if assignedU[p.u] || assignedF[p.f] >= 0 {
+			continue
+		}
+		assignedU[p.u] = true
+		assignedF[p.f] = p.u
+		matched++
+	}
+
+	res := &FlowCorrResult{Users: users, MeanCorrTrue: corrTrue / float64(users)}
+	correct, classCorrect := 0, 0
+	var rankSum float64
+	for f := 0; f < users; f++ {
+		if assignedF[f] == f {
+			correct++
+		}
+		// Rank of the true user in flow f's score column.
+		trueScore := score[f*users+f]
+		rank := 1
+		for u := 0; u < users; u++ {
+			if u == f {
+				continue
+			}
+			s := score[u*users+f]
+			if s > trueScore || (s == trueScore && u < f) {
+				rank++
+			}
+		}
+		rankSum += float64(rank)
+		if obs[f].logPost != nil {
+			best, bestV := 0, obs[f].logPost[0]
+			for c := 1; c < len(obs[f].logPost); c++ {
+				if obs[f].logPost[c] > bestV {
+					best, bestV = c, obs[f].logPost[c]
+				}
+			}
+			if best == obs[f].class {
+				classCorrect++
+			}
+		}
+	}
+	res.Accuracy = float64(correct) / float64(users)
+	res.MeanRank = rankSum / float64(users)
+	if len(cfg.Classifiers) > 0 {
+		res.ClassAccuracy = float64(classCorrect) / float64(users)
+	}
+	return res, nil
+}

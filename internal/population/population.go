@@ -1,0 +1,334 @@
+// Package population scales the study from one sender to a population:
+// N heterogeneous senders (per-user rate classes and recipient profiles)
+// share a padded infrastructure, and a global passive adversary who taps
+// both the ingress side (per-user send activity) and the egress side
+// (batched deliveries, padded flows) tries to disentangle whose traffic
+// is whose. Two canonical population-scale attacks are implemented on
+// top of the engine:
+//
+//   - the round-based statistical disclosure attack (Danezis' SDA, and
+//     its refinements in Emamdoost et al., "Statistical Disclosure:
+//     Improved, Extended, and Resisted"): estimate a target user's
+//     recipient distribution by contrasting batch rounds in which the
+//     target sent against rounds in which they did not (sda.go);
+//   - per-flow correlation by throughput fingerprinting (Mittal et al.,
+//     "Stealthy Traffic Analysis of Low-Latency Anonymous Communication
+//     Using Throughput Fingerprinting") combined with the paper's PIAT
+//     class features: match an egress padded flow to its ingress user
+//     (flowcorr.go).
+//
+// The engine follows the repository's determinism discipline: every
+// user's randomness — message arrivals, cover arrivals, recipient
+// draws — is a private deterministic stream (core derives it from
+// (seed, class, userID) in the population stream domain), so per-user
+// generation parallelizes to any worker count with byte-identical
+// results. Users are the unit of parallelism: event generation fans out
+// across users in time slabs, and the cheap global merge that orders
+// events and forms mix rounds is a sequential reduction whose output is
+// a pure function of the per-user streams. The round loop is
+// allocation-free in steady state.
+package population
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"linkpad/internal/par"
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// Profile is one user's recipient distribution: a small contact set
+// carrying most of the probability mass (Zipf-weighted, so the first
+// contact is the heaviest) over a uniform background across all
+// recipients. This is the structure statistical disclosure exploits —
+// and what "disclosure" means: identifying the contact set.
+type Profile struct {
+	contacts []int32
+	cum      []float64 // cumulative Zipf weights within the contact set
+	weight   float64   // total mass on the contact set
+	nrcpt    int32
+}
+
+// NewProfile draws a profile with the given number of distinct contacts
+// among `recipients` possible recipients, placing `weight` of the
+// probability mass on the contact set (Zipf-weighted within it) and the
+// rest uniformly across all recipients. The contact set is drawn from
+// rng, so a profile is deterministic from its stream.
+func NewProfile(recipients, contacts int, weight float64, rng *xrand.Rand) (Profile, error) {
+	if recipients < 2 {
+		return Profile{}, errors.New("population: need at least two recipients")
+	}
+	if contacts < 1 || contacts > recipients/2 {
+		return Profile{}, fmt.Errorf("population: contacts %d out of range [1, %d]", contacts, recipients/2)
+	}
+	if !(weight > 0 && weight <= 1) {
+		return Profile{}, errors.New("population: contact weight must be in (0,1]")
+	}
+	if rng == nil {
+		return Profile{}, errors.New("population: nil rng")
+	}
+	cs := make([]int32, 0, contacts)
+	for len(cs) < contacts {
+		c := int32(rng.Intn(recipients))
+		dup := false
+		for _, x := range cs {
+			if x == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cs = append(cs, c)
+		}
+	}
+	cum := make([]float64, contacts)
+	var tot float64
+	for i := range cum {
+		tot += 1 / float64(i+1)
+		cum[i] = tot
+	}
+	for i := range cum {
+		cum[i] /= tot
+	}
+	return Profile{contacts: cs, cum: cum, weight: weight, nrcpt: int32(recipients)}, nil
+}
+
+// Draw picks one recipient from the profile using rng.
+func (p *Profile) Draw(rng *xrand.Rand) int32 {
+	u := rng.Float64()
+	if u < p.weight {
+		// Reuse the uniform: u/weight is uniform in [0,1) given u < weight.
+		v := u / p.weight
+		for i, c := range p.cum {
+			if v < c {
+				return p.contacts[i]
+			}
+		}
+		return p.contacts[len(p.contacts)-1]
+	}
+	return int32(rng.Intn(int(p.nrcpt)))
+}
+
+// Contacts returns a copy of the contact set, heaviest first.
+func (p *Profile) Contacts() []int32 {
+	return append([]int32(nil), p.contacts...)
+}
+
+// User is one sender of the population. Its stochastic elements —
+// message arrivals, optional cover arrivals, and the recipient-draw
+// stream — must be private to the user (never shared), which is what
+// lets the engine generate users in parallel deterministically.
+type User struct {
+	// Class is the user's payload-rate class index.
+	Class int
+	// Messages is the user's real message arrival process.
+	Messages traffic.Source
+	// Cover is the user's dummy arrival process; nil means no cover
+	// traffic. Cover messages are indistinguishable from real ones at the
+	// ingress tap and are delivered to uniformly random recipients.
+	Cover traffic.Source
+	// Profile is the user's recipient distribution for real messages.
+	Profile Profile
+	// RNG draws recipients (real and dummy) in event order.
+	RNG *xrand.Rand
+}
+
+// event is one message entering the shared infrastructure.
+type event struct {
+	t     float64
+	user  int32
+	rcpt  int32
+	dummy bool
+}
+
+// eventSorter orders events by time, tie-breaking by user index so the
+// merge is deterministic even in the (measure-zero) case of equal
+// timestamps. Held by pointer on the engine so sorting allocates nothing.
+type eventSorter struct{ ev []event }
+
+func (s *eventSorter) Len() int      { return len(s.ev) }
+func (s *eventSorter) Swap(i, j int) { s.ev[i], s.ev[j] = s.ev[j], s.ev[i] }
+func (s *eventSorter) Less(i, j int) bool {
+	if s.ev[i].t != s.ev[j].t {
+		return s.ev[i].t < s.ev[j].t
+	}
+	return s.ev[i].user < s.ev[j].user
+}
+
+// userState is one user's generation cursor: the merged real+cover
+// stream, the pending (not yet emitted) event's time and origin, and the
+// user's reusable slab buffer.
+type userState struct {
+	sup       *traffic.Superpose
+	nextT     float64
+	nextCover bool
+	buf       []event
+}
+
+// Round is one batch of the population mix as both sides of the
+// adversary observe it: for each of the B messages, the sending user
+// (ingress view) and the delivered recipient (egress view), in arrival
+// order. Dummy is ground truth the adversary does not see; the attacks
+// never read it. A Round's slices are reused across NextRound calls.
+type Round struct {
+	Users []int32
+	Rcpts []int32
+	Dummy []bool
+}
+
+// Engine is a running multi-user simulation: per-user event streams
+// merged into one time-ordered sequence and cut into mix rounds. Like
+// the Source and Session types it is a stateful stream — one pass per
+// engine; build a fresh engine per run. It is not safe for concurrent
+// use, but its internal generation fans out across users on up to
+// SetWorkers goroutines with byte-identical output at any width.
+type Engine struct {
+	users  []User
+	nrcpt  int
+	states []userState
+
+	workers int
+	slabLen float64
+	slabEnd float64
+	queue   []event
+	qi      int
+	sorter  eventSorter
+	rounds  int
+}
+
+// targetSlabEvents sizes generation slabs: each parallel fan-out should
+// produce about this many events so the merge cost amortizes.
+const targetSlabEvents = 4096
+
+// NewEngine assembles an engine over the users and the shared recipient
+// space. Each user's sources and RNG must be non-nil (Cover may be nil)
+// and private to that user.
+func NewEngine(users []User, recipients int) (*Engine, error) {
+	if len(users) < 2 {
+		return nil, errors.New("population: need at least two users")
+	}
+	if recipients < 2 {
+		return nil, errors.New("population: need at least two recipients")
+	}
+	e := &Engine{users: users, nrcpt: recipients, states: make([]userState, len(users))}
+	var totalRate float64
+	for u := range users {
+		usr := &users[u]
+		if usr.Messages == nil || usr.RNG == nil {
+			return nil, fmt.Errorf("population: user %d missing sources", u)
+		}
+		if usr.Class < 0 {
+			return nil, fmt.Errorf("population: user %d has negative class", u)
+		}
+		if int(usr.Profile.nrcpt) != recipients {
+			return nil, fmt.Errorf("population: user %d profile spans %d recipients, engine has %d",
+				u, usr.Profile.nrcpt, recipients)
+		}
+		srcs := []traffic.Source{usr.Messages}
+		if usr.Cover != nil {
+			srcs = append(srcs, usr.Cover)
+		}
+		sup, err := traffic.NewSuperpose(srcs...)
+		if err != nil {
+			return nil, err
+		}
+		st := &e.states[u]
+		st.sup = sup
+		gap, src := sup.NextFrom()
+		st.nextT = gap
+		st.nextCover = src == 1
+		totalRate += sup.Rate()
+	}
+	if !(totalRate > 0) {
+		return nil, errors.New("population: population has zero aggregate rate")
+	}
+	e.slabLen = targetSlabEvents / totalRate
+	return e, nil
+}
+
+// Users returns the population size.
+func (e *Engine) Users() int { return len(e.users) }
+
+// Recipients returns the size of the recipient space.
+func (e *Engine) Recipients() int { return e.nrcpt }
+
+// Class returns user u's class index.
+func (e *Engine) Class(u int) int { return e.users[u].Class }
+
+// ContactsOf returns a copy of user u's contact set, heaviest first.
+func (e *Engine) ContactsOf(u int) []int32 { return e.users[u].Profile.Contacts() }
+
+// Rounds returns how many rounds have been emitted so far.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// SetWorkers bounds the per-user generation parallelism (values < 1 mean
+// all CPUs). Results are identical at any width.
+func (e *Engine) SetWorkers(w int) { e.workers = w }
+
+// refill advances the generation horizon by one slab: every user extends
+// its private event stream up to the new horizon in parallel, then the
+// slabs are merged into one time-ordered queue. Each user's events are a
+// pure function of its own streams, so the merged queue is identical at
+// any worker count.
+func (e *Engine) refill() error {
+	e.slabEnd += e.slabLen
+	err := par.MapWorker(len(e.users), e.workers, func(_, u int) error {
+		st := &e.states[u]
+		st.buf = st.buf[:0]
+		usr := &e.users[u]
+		for st.nextT < e.slabEnd {
+			var rcpt int32
+			if st.nextCover {
+				rcpt = int32(usr.RNG.Intn(e.nrcpt))
+			} else {
+				rcpt = usr.Profile.Draw(usr.RNG)
+			}
+			st.buf = append(st.buf, event{t: st.nextT, user: int32(u), rcpt: rcpt, dummy: st.nextCover})
+			gap, src := st.sup.NextFrom()
+			st.nextT += gap
+			st.nextCover = src == 1
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.queue = e.queue[:0]
+	for u := range e.states {
+		e.queue = append(e.queue, e.states[u].buf...)
+	}
+	e.sorter.ev = e.queue
+	sort.Sort(&e.sorter)
+	e.qi = 0
+	return nil
+}
+
+// NextRound emits the next mix round: the next `batch` messages of the
+// merged population stream, in arrival order (a threshold mix flushes
+// when its batch fills). The round's slices are reused; steady state
+// allocates nothing beyond the amortized slab buffers.
+func (e *Engine) NextRound(batch int, r *Round) error {
+	if batch < 1 {
+		return errors.New("population: round batch must be at least 1")
+	}
+	r.Users = r.Users[:0]
+	r.Rcpts = r.Rcpts[:0]
+	r.Dummy = r.Dummy[:0]
+	for len(r.Users) < batch {
+		if e.qi >= len(e.queue) {
+			if err := e.refill(); err != nil {
+				return err
+			}
+			continue
+		}
+		ev := &e.queue[e.qi]
+		e.qi++
+		r.Users = append(r.Users, ev.user)
+		r.Rcpts = append(r.Rcpts, ev.rcpt)
+		r.Dummy = append(r.Dummy, ev.dummy)
+	}
+	e.rounds++
+	return nil
+}

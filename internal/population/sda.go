@@ -1,0 +1,376 @@
+package population
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"linkpad/internal/par"
+)
+
+// Statistical disclosure (sda.go): the round-based intersection attack.
+// The adversary watches the batch mix for many rounds; for a target user
+// it contrasts the mean egress recipient vector of rounds in which the
+// target sent against the mean of rounds in which it did not. The
+// difference estimates the target's recipient distribution — the
+// background contributed by everyone else cancels — and disclosure is
+// declared when the estimate's top contacts match the target's true
+// contact set stably. Cover traffic resists the attack twice over: the
+// target's observable sends carry less and less real signal, and
+// everyone else's dummies brighten the background noise.
+
+// DisclosureConfig parameterizes one statistical-disclosure run.
+type DisclosureConfig struct {
+	// Batch is the mix's flush threshold B (messages per round);
+	// 0 selects the default 8.
+	Batch int
+	// Targets are the user IDs whose recipient sets the adversary tries
+	// to disclose; empty selects 8 users evenly spread over the
+	// population (covering every rate class under the striped class
+	// assignment).
+	Targets []int
+	// MaxRounds is the observation budget; targets undisclosed at the
+	// budget are censored at MaxRounds. 0 selects the default 4000.
+	MaxRounds int
+	// CheckEvery is the checkpoint granularity in rounds (0 = 25): the
+	// estimate is tested at checkpoints, so rounds-to-disclosure is
+	// resolved to this granularity.
+	CheckEvery int
+	// Consecutive is how many consecutive successful checkpoints the
+	// estimate must hold before the target counts as disclosed (0 = 2);
+	// a single lucky checkpoint is not disclosure.
+	Consecutive int
+	// Workers bounds the engine's per-user generation parallelism;
+	// results are identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c DisclosureConfig) withDefaults(users int) DisclosureConfig {
+	if c.Batch == 0 {
+		c.Batch = 8
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 4000
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 25
+	}
+	if c.Consecutive == 0 {
+		c.Consecutive = 2
+	}
+	if len(c.Targets) == 0 {
+		n := 8
+		if n > users {
+			n = users
+		}
+		c.Targets = make([]int, n)
+		for i := range c.Targets {
+			c.Targets[i] = i * users / n
+		}
+	}
+	return c
+}
+
+// TargetOutcome reports the attack against one target user.
+type TargetOutcome struct {
+	// User is the target's user ID.
+	User int
+	// Disclosed reports whether the contact set was identified within
+	// the budget.
+	Disclosed bool
+	// Rounds is the observed round count at disclosure; MaxRounds
+	// (censored) if not disclosed.
+	Rounds int
+	// RoundsWith counts the rounds in which the target appeared as a
+	// sender — the rounds that carry signal.
+	RoundsWith int
+	// DegreeOfAnonymity is the normalized entropy H(p̂)/ln(R) of the
+	// adversary's final recipient estimate: 1 means the estimate is
+	// uniform (full anonymity), 0 means it has collapsed to a point.
+	DegreeOfAnonymity float64
+}
+
+// DisclosureResult reports one statistical-disclosure run.
+type DisclosureResult struct {
+	// Rounds is how many rounds were observed (the run stops early once
+	// every target is disclosed).
+	Rounds int
+	// Targets holds the per-target outcomes in Targets order.
+	Targets []TargetOutcome
+	// MeanRounds averages rounds-to-disclosure over all targets,
+	// censored values included — the population-level security number.
+	MeanRounds float64
+	// DisclosedFrac is the fraction of targets disclosed within budget.
+	DisclosedFrac float64
+	// MeanAnonymity averages the targets' final degree of anonymity.
+	MeanAnonymity float64
+}
+
+// targetState is the adversary's running estimator for one target.
+type targetState struct {
+	user       int32
+	contacts   []int32 // sorted ascending, the set to identify
+	sumWith    []float64
+	sumWithout []float64
+	nWith      int
+	nWithout   int
+	roundsWith int
+	streak     int
+	disclosed  bool
+	rounds     int
+	sent       bool // per-round scratch
+}
+
+// disclosure is one running attack: per-target estimators plus shared
+// scratch, sized once so the round loop allocates nothing.
+type disclosure struct {
+	eng       *Engine
+	cfg       DisclosureConfig
+	targets   []targetState
+	targetIdx []int32 // user -> target index, -1 if not a target
+	est       []float64
+	topIdx    []int32
+	topVal    []float64
+	setScr    []int32
+}
+
+// newDisclosure validates cfg and sizes the estimators.
+func newDisclosure(e *Engine, cfg DisclosureConfig) (*disclosure, error) {
+	d := &disclosure{
+		eng:       e,
+		cfg:       cfg,
+		targets:   make([]targetState, len(cfg.Targets)),
+		targetIdx: make([]int32, len(e.users)),
+		est:       make([]float64, e.nrcpt),
+	}
+	for i := range d.targetIdx {
+		d.targetIdx[i] = -1
+	}
+	maxK := 0
+	for i, u := range cfg.Targets {
+		if u < 0 || u >= len(e.users) {
+			return nil, fmt.Errorf("population: target user %d out of range", u)
+		}
+		if d.targetIdx[u] >= 0 {
+			return nil, fmt.Errorf("population: duplicate target user %d", u)
+		}
+		d.targetIdx[u] = int32(i)
+		cs := e.users[u].Profile.Contacts()
+		sort.Slice(cs, func(a, b int) bool { return cs[a] < cs[b] })
+		if len(cs) > maxK {
+			maxK = len(cs)
+		}
+		d.targets[i] = targetState{
+			user:       int32(u),
+			contacts:   cs,
+			sumWith:    make([]float64, e.nrcpt),
+			sumWithout: make([]float64, e.nrcpt),
+		}
+	}
+	d.topIdx = make([]int32, maxK)
+	d.topVal = make([]float64, maxK)
+	d.setScr = make([]int32, maxK)
+	return d, nil
+}
+
+// observe folds one round into every target's estimator. Allocation-free.
+func (d *disclosure) observe(r *Round) {
+	for i := range d.targets {
+		d.targets[i].sent = false
+	}
+	for _, u := range r.Users {
+		if ti := d.targetIdx[u]; ti >= 0 {
+			d.targets[ti].sent = true
+		}
+	}
+	for i := range d.targets {
+		t := &d.targets[i]
+		dst := t.sumWithout
+		if t.sent {
+			dst = t.sumWith
+			t.nWith++
+			t.roundsWith++
+		} else {
+			t.nWithout++
+		}
+		for _, rc := range r.Rcpts {
+			dst[rc]++
+		}
+	}
+}
+
+// estimate writes target t's current recipient estimate into d.est:
+// the clamped difference of conditional egress means. It reports false
+// when either conditional mean is still empty.
+func (d *disclosure) estimate(t *targetState) bool {
+	if t.nWith == 0 || t.nWithout == 0 {
+		return false
+	}
+	iw, iwo := 1/float64(t.nWith), 1/float64(t.nWithout)
+	for i := range d.est {
+		v := t.sumWith[i]*iw - t.sumWithout[i]*iwo
+		if v < 0 {
+			v = 0
+		}
+		d.est[i] = v
+	}
+	return true
+}
+
+// checkpoint tests every undisclosed target's estimate against its true
+// contact set, advancing disclosure streaks; it returns true once every
+// target is disclosed. Allocation-free.
+func (d *disclosure) checkpoint(round int) (allDone bool) {
+	allDone = true
+	for i := range d.targets {
+		t := &d.targets[i]
+		if t.disclosed {
+			continue
+		}
+		if !d.estimate(t) {
+			allDone = false
+			continue
+		}
+		k := len(t.contacts)
+		top := d.topK(k)
+		if setsEqual(top, t.contacts, d.setScr) {
+			t.streak++
+		} else {
+			t.streak = 0
+		}
+		if t.streak >= d.cfg.Consecutive {
+			t.disclosed = true
+			t.rounds = round
+		} else {
+			allDone = false
+		}
+	}
+	return allDone
+}
+
+// topK selects the indices of the k largest estimate entries (ties break
+// toward the lower recipient index) into the reusable scratch.
+func (d *disclosure) topK(k int) []int32 {
+	idx, val := d.topIdx[:0], d.topVal[:0]
+	for i, v := range d.est {
+		// Find the insertion point among the current k best.
+		if len(idx) == k && v <= val[k-1] {
+			continue
+		}
+		j := len(idx)
+		if j < k {
+			idx = append(idx, 0)
+			val = append(val, 0)
+		} else {
+			j--
+		}
+		for j > 0 && v > val[j-1] {
+			idx[j], val[j] = idx[j-1], val[j-1]
+			j--
+		}
+		idx[j], val[j] = int32(i), v
+	}
+	d.topIdx, d.topVal = idx, val
+	return idx
+}
+
+// setsEqual compares two index sets using scr as sorting scratch; b must
+// already be sorted ascending.
+func setsEqual(a, b, scr []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	scr = scr[:0]
+	scr = append(scr, a...)
+	for i := 1; i < len(scr); i++ {
+		for j := i; j > 0 && scr[j] < scr[j-1]; j-- {
+			scr[j], scr[j-1] = scr[j-1], scr[j]
+		}
+	}
+	for i := range scr {
+		if scr[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// anonymity returns the normalized entropy of the target's final
+// estimate; 1 when the adversary has no estimate at all.
+func (d *disclosure) anonymity(t *targetState) float64 {
+	if !d.estimate(t) {
+		return 1
+	}
+	var total float64
+	for _, v := range d.est {
+		total += v
+	}
+	if total <= 0 {
+		return 1
+	}
+	var h float64
+	for _, v := range d.est {
+		if v > 0 {
+			p := v / total
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(len(d.est)))
+}
+
+// RunDisclosure runs the statistical disclosure attack against the
+// engine's population: rounds are observed until every target's contact
+// set is identified or the budget runs out. One run consumes the engine
+// (build a fresh engine per run); results are identical at any Workers
+// width.
+func (e *Engine) RunDisclosure(cfg DisclosureConfig) (*DisclosureResult, error) {
+	cfg = cfg.withDefaults(len(e.users))
+	if cfg.Batch < 1 || cfg.MaxRounds < 1 || cfg.CheckEvery < 1 || cfg.Consecutive < 1 {
+		return nil, errors.New("population: disclosure parameters must be positive")
+	}
+	e.SetWorkers(par.Workers(cfg.Workers))
+	d, err := newDisclosure(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var r Round
+	observed := 0
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		if err := e.NextRound(cfg.Batch, &r); err != nil {
+			return nil, err
+		}
+		d.observe(&r)
+		observed = round
+		if round%cfg.CheckEvery == 0 && d.checkpoint(round) {
+			break
+		}
+	}
+	res := &DisclosureResult{Rounds: observed, Targets: make([]TargetOutcome, len(d.targets))}
+	var sumRounds, sumAnon float64
+	disclosed := 0
+	for i := range d.targets {
+		t := &d.targets[i]
+		rounds := cfg.MaxRounds
+		if t.disclosed {
+			rounds = t.rounds
+			disclosed++
+		}
+		anon := d.anonymity(t)
+		res.Targets[i] = TargetOutcome{
+			User:              int(t.user),
+			Disclosed:         t.disclosed,
+			Rounds:            rounds,
+			RoundsWith:        t.roundsWith,
+			DegreeOfAnonymity: anon,
+		}
+		sumRounds += float64(rounds)
+		sumAnon += anon
+	}
+	n := float64(len(d.targets))
+	res.MeanRounds = sumRounds / n
+	res.DisclosedFrac = float64(disclosed) / n
+	res.MeanAnonymity = sumAnon / n
+	return res, nil
+}

@@ -201,6 +201,74 @@ func (t *Train) Next() float64 {
 // contribution.
 func (t *Train) Rate() float64 { return t.trainRate / (1 - t.pContinue) }
 
+// Superpose merges several arrival processes into one: the output stream
+// contains every component's arrivals in time order, as if the sources
+// shared one wire. NextFrom additionally reports which component produced
+// each arrival, which is what the population engine uses to carry a
+// per-message label (real payload vs cover dummy) through the merged
+// stream — the merge is part of the model, the label is ground truth the
+// adversary does not see.
+//
+// Like every Source, a Superpose is a stateful continuous stream: each
+// component's clock advances independently and the merge order is a pure
+// function of the component streams, so a Superpose built from
+// deterministic sources is itself deterministic.
+type Superpose struct {
+	srcs []Source
+	next []float64 // absolute next-arrival time per component
+	now  float64   // absolute time of the last emitted arrival
+}
+
+// NewSuperpose merges the given sources (at least one, all non-nil).
+func NewSuperpose(srcs ...Source) (*Superpose, error) {
+	if len(srcs) == 0 {
+		return nil, errors.New("traffic: Superpose needs at least one source")
+	}
+	s := &Superpose{
+		srcs: append([]Source(nil), srcs...),
+		next: make([]float64, len(srcs)),
+	}
+	for i, src := range srcs {
+		if src == nil {
+			return nil, fmt.Errorf("traffic: Superpose source %d is nil", i)
+		}
+		s.next[i] = src.Next()
+	}
+	return s, nil
+}
+
+// NextFrom returns the gap until the next arrival of the merged stream
+// and the index of the component that produced it. Ties break toward the
+// lowest component index, deterministically.
+func (s *Superpose) NextFrom() (gap float64, src int) {
+	best := 0
+	for i := 1; i < len(s.next); i++ {
+		if s.next[i] < s.next[best] {
+			best = i
+		}
+	}
+	t := s.next[best]
+	gap = t - s.now
+	s.now = t
+	s.next[best] = t + s.srcs[best].Next()
+	return gap, best
+}
+
+// Next returns the gap until the next arrival of the merged stream.
+func (s *Superpose) Next() float64 {
+	gap, _ := s.NextFrom()
+	return gap
+}
+
+// Rate returns the sum of the component rates.
+func (s *Superpose) Rate() float64 {
+	var r float64
+	for _, src := range s.srcs {
+		r += src.Rate()
+	}
+	return r
+}
+
 // Diurnal is a 24-hour background-load profile: utilization varies
 // smoothly between Trough (at TroughHour) and Peak (12 hours later),
 // following a raised cosine. It models the day/night congestion swing the

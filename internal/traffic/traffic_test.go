@@ -346,3 +346,74 @@ func TestOnOffStateCarriesAcrossWindows(t *testing.T) {
 		t.Errorf("rebuilt replica's first gap %v should replay %v", got, ref[0])
 	}
 }
+
+// Superpose must emit exactly the union of its components' arrivals, in
+// time order, with correct origin labels.
+func TestSuperposeMergesComponents(t *testing.T) {
+	// Two deterministic CBR sources with incommensurate intervals.
+	a, err := NewCBR(10, 0, nil) // every 100 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCBR(3, 0, nil) // every 333.3 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSuperpose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Rate(), 13.0; got != want {
+		t.Errorf("Rate = %v, want %v", got, want)
+	}
+	var now float64
+	counts := [2]int{}
+	for i := 0; i < 130; i++ {
+		gap, src := s.NextFrom()
+		if gap < 0 {
+			t.Fatalf("arrival %d: negative gap %v", i, gap)
+		}
+		now += gap
+		counts[src]++
+	}
+	// Over now seconds, component rates must be honored within one event.
+	for i, rate := range []float64{10, 3} {
+		want := now * rate
+		if float64(counts[i]) < want-1.5 || float64(counts[i]) > want+1.5 {
+			t.Errorf("component %d emitted %d arrivals over %.2fs, want ≈ %.1f", i, counts[i], now, want)
+		}
+	}
+}
+
+// A superposition of Poisson streams is itself a continuation of its
+// components: splitting the observation does not change the stream.
+func TestSuperposeContinuesDeterministically(t *testing.T) {
+	build := func() *Superpose {
+		a, _ := NewPoisson(20, xrand.New(5))
+		b, _ := NewPoisson(7, xrand.New(6))
+		s, err := NewSuperpose(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := build()
+	got := build()
+	for i := 0; i < 1000; i++ {
+		rg, rs := ref.NextFrom()
+		gg, gs := got.NextFrom()
+		if rg != gg || rs != gs {
+			t.Fatalf("arrival %d: (%v, %d) != (%v, %d)", i, gg, gs, rg, rs)
+		}
+	}
+}
+
+func TestSuperposeValidation(t *testing.T) {
+	if _, err := NewSuperpose(); err == nil {
+		t.Error("empty superposition should fail")
+	}
+	a, _ := NewPoisson(1, xrand.New(1))
+	if _, err := NewSuperpose(a, nil); err == nil {
+		t.Error("nil component should fail")
+	}
+}

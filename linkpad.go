@@ -35,6 +35,7 @@ import (
 	"linkpad/internal/analytic"
 	"linkpad/internal/core"
 	"linkpad/internal/experiment"
+	"linkpad/internal/population"
 	"linkpad/internal/sizes"
 )
 
@@ -135,6 +136,30 @@ func SampleSizeVariance(r, p float64) (float64, error) {
 func SampleSizeEntropy(r, p float64) (float64, error) {
 	return analytic.SampleSizeEntropy(r, p)
 }
+
+// Population scale (see internal/population): N senders share the padded
+// infrastructure and a global passive adversary runs the canonical
+// population attacks — round-based statistical disclosure against the
+// batching mix (System.RunDisclosure) and per-flow throughput-fingerprint
+// correlation against padded links (System.RunFlowCorrelation).
+type (
+	// PopulationSpec describes the user population: size, rate-class
+	// mix, recipient profiles, and cover traffic.
+	PopulationSpec = core.PopulationSpec
+	// PopulationEngine is the running multi-user simulation
+	// (System.NewPopulation) emitting threshold-mix rounds.
+	PopulationEngine = population.Engine
+	// DisclosureConfig parameterizes the statistical disclosure attack.
+	DisclosureConfig = population.DisclosureConfig
+	// DisclosureResult reports rounds-to-disclosure and the targets'
+	// residual degree of anonymity.
+	DisclosureResult = population.DisclosureResult
+	// FlowCorrConfig parameterizes the per-flow correlation attack.
+	FlowCorrConfig = core.FlowCorrConfig
+	// FlowCorrResult reports the flow-matching accuracy, class accuracy
+	// and throughput-fingerprint strength.
+	FlowCorrResult = population.FlowCorrResult
+)
 
 // Experiment tables (see internal/experiment).
 type (
