@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare staticcheck clean
+.PHONY: all build vet test race bench bench-json bench-compare staticcheck \
+	golden golden-check ci clean
 
 all: vet build test
 
@@ -29,6 +30,33 @@ bench-compare:
 # Static analysis at the version CI pins (needs network for the first run).
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
+
+# The golden determinism gate: one small-scale experiment per observation
+# protocol (replica, session, population, cascade), committed as text
+# tables. golden-check regenerates them into a scratch directory and
+# byte-diffs against the committed copies — the mechanical version of the
+# "prior tables byte-identical" check every PR used to run by hand.
+# After an *intentional* table change, run `make golden` and commit.
+GOLDEN_SCALE = 0.05
+GOLDEN_SEED = 3
+GOLDEN_EXPS = fig4b ext-online ext-disclosure ext-cascade
+
+golden:
+	@for e in $(GOLDEN_EXPS); do \
+		$(GO) run ./cmd/linkpadsim -exp $$e -scale $(GOLDEN_SCALE) -seed $(GOLDEN_SEED) -o testdata/golden || exit 1; \
+	done
+
+golden-check:
+	@tmp=$$(mktemp -d) || exit 1; \
+	for e in $(GOLDEN_EXPS); do \
+		$(GO) run ./cmd/linkpadsim -exp $$e -scale $(GOLDEN_SCALE) -seed $(GOLDEN_SEED) -o $$tmp || { rm -rf $$tmp; exit 1; }; \
+	done; \
+	diff -ru testdata/golden $$tmp || { rm -rf $$tmp; \
+		echo "golden tables differ: intentional? regenerate with 'make golden' and commit"; exit 1; }; \
+	rm -rf $$tmp; echo "golden tables byte-identical"
+
+# Everything the CI workflow runs, reproducible locally in one command.
+ci: vet build test race staticcheck golden-check
 
 clean:
 	rm -f linkpad.test

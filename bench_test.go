@@ -262,3 +262,22 @@ func BenchmarkAblationPopulationPadding(b *testing.B) {
 		"flow_acc_mix":  {"flow_acc", "last"},
 	})
 }
+
+// BenchmarkExtCascade measures the end-to-end correlation attack across
+// route lengths (unpadded anchor through three re-padding hops).
+func BenchmarkExtCascade(b *testing.B) {
+	runFigure(b, "ext-cascade", map[string][2]string{
+		"flow_acc_raw":    {"flow_acc", "first"},
+		"anon_3hops":      {"anonymity", "last"},
+		"class_acc_3hops": {"class_acc", "last"},
+	})
+}
+
+// BenchmarkAblationHopPolicies compares homogeneous against mixed
+// per-hop policies on two-hop routes at equal bandwidth.
+func BenchmarkAblationHopPolicies(b *testing.B) {
+	runFigure(b, "ablation-hop-policies", map[string][2]string{
+		"class_acc_citcit": {"class_acc", "first"},
+		"class_acc_mixcit": {"class_acc", "last"},
+	})
+}

@@ -1,0 +1,67 @@
+// Cascade demonstrates the multi-hop route engine end to end: sixteen
+// flows cross routes of increasing length, each hop re-padding the
+// traffic with its own timer, and a global passive adversary taps every
+// route's entry and exit, matching exit flows to entry flows by
+// throughput-fingerprint correlation plus the paper's PIAT class
+// features. One padded hop hides the individual inside the rate class;
+// the second hop hides the class too — at the price of another full-rate
+// padded link. Hop order matters: a batching mix in front of a timer hop
+// leaks the class the other orderings protect.
+//
+// Run with: go run ./examples/cascade
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	features := []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy}
+
+	// Part 1: route length. Every hop re-pads at 1/tau = 100 pps, so each
+	// extra hop costs a full padded link and buys another layer of
+	// re-timing between the adversary's two taps.
+	fmt.Println("end-to-end correlation vs hop count: 16 flows, 60 s per flow")
+	for _, hops := range []int{0, 1, 2, 3} {
+		res, err := sys.RunCascadeCorrelation(linkpad.CascadeSpec{
+			Hops:  make([]linkpad.CascadeHop, hops),
+			Flows: 16,
+		}, linkpad.CascadeCorrConfig{Duration: 60, Features: features})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d hops: %3.0f%% of flows matched, class identified for %3.0f%%, anonymity %.2f, %3.0f pps/flow\n",
+			hops, 100*res.Accuracy, 100*res.ClassAccuracy, res.DegreeOfAnonymity, res.RoutePPS)
+	}
+
+	// Part 2: hop order. The same two stages — a CIT timer and a
+	// batch-of-8 mix — protect the class in one order and leak it in the
+	// other: the mix's payload-rate bursts drive the downstream timer's
+	// blocking channel straight onto the exit wire.
+	fmt.Println("hop order: the same stages, opposite leaks")
+	for _, route := range []struct {
+		name string
+		hops []linkpad.CascadeHop
+	}{
+		{"CIT then MIX8", []linkpad.CascadeHop{{}, {Policy: linkpad.CascadeMix}}},
+		{"MIX8 then CIT", []linkpad.CascadeHop{{Policy: linkpad.CascadeMix}, {}}},
+	} {
+		res, err := sys.RunCascadeCorrelation(linkpad.CascadeSpec{
+			Hops:  route.hops,
+			Flows: 16,
+		}, linkpad.CascadeCorrConfig{Duration: 60, Features: features})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: class identified for %3.0f%% (%3.0f pps/flow)\n",
+			route.name, 100*res.ClassAccuracy, res.RoutePPS)
+	}
+	fmt.Println("put the timer hop first: it flattens the rate before anything else can echo it")
+}

@@ -1,0 +1,95 @@
+package adversary
+
+import (
+	"errors"
+	"sort"
+)
+
+// Identity matching shared by the population flow-correlation attack and
+// the cascade end-to-end attack: given an n×n score matrix over
+// (ingress identity, egress flow) pairs, resolve a one-to-one
+// assignment. Scores are arbitrary real numbers (higher = more likely
+// pair); the resolution is greedy — highest score first — with a
+// deterministic tie-break on (identity, flow) order, so results are
+// reproducible bit for bit.
+
+// PostFloor bounds one class's log posterior from below when the
+// matching attacks combine per-feature posteriors, so a single
+// out-of-support feature value cannot veto a pairing outright (the same
+// robustification bayes.Sequential applies to anytime decisions).
+const PostFloor = 8.0
+
+// AddClampedLogPosts accumulates the per-class log posteriors lp into
+// dst, clamping each entry below at -PostFloor. dst and lp must have
+// equal length.
+func AddClampedLogPosts(dst, lp []float64) {
+	for c := range dst {
+		v := lp[c]
+		if v < -PostFloor {
+			v = -PostFloor
+		}
+		dst[c] += v
+	}
+}
+
+// GreedyMatch assigns each of the n egress flows to one of the n
+// ingress identities by descending score[u*n+f], returning flow → user.
+// Every flow is assigned exactly one user and vice versa.
+func GreedyMatch(score []float64, n int) ([]int, error) {
+	if n < 1 || len(score) != n*n {
+		return nil, errors.New("adversary: GreedyMatch needs an n×n score matrix")
+	}
+	type pair struct{ u, f int }
+	pairs := make([]pair, 0, n*n)
+	for u := 0; u < n; u++ {
+		for f := 0; f < n; f++ {
+			pairs = append(pairs, pair{u, f})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		si, sj := score[pairs[i].u*n+pairs[i].f], score[pairs[j].u*n+pairs[j].f]
+		if si != sj {
+			return si > sj
+		}
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
+		}
+		return pairs[i].f < pairs[j].f
+	})
+	assignedU := make([]bool, n)
+	assignedF := make([]int, n) // flow -> user
+	for i := range assignedF {
+		assignedF[i] = -1
+	}
+	matched := 0
+	for _, p := range pairs {
+		if matched == n {
+			break
+		}
+		if assignedU[p.u] || assignedF[p.f] >= 0 {
+			continue
+		}
+		assignedU[p.u] = true
+		assignedF[p.f] = p.u
+		matched++
+	}
+	return assignedF, nil
+}
+
+// TrueRank returns the rank (1 = best) of the true identity in flow f's
+// score column, under the same deterministic tie-break GreedyMatch uses:
+// flow f's true ingress identity is identity f.
+func TrueRank(score []float64, n, f int) int {
+	trueScore := score[f*n+f]
+	rank := 1
+	for u := 0; u < n; u++ {
+		if u == f {
+			continue
+		}
+		s := score[u*n+f]
+		if s > trueScore || (s == trueScore && u < f) {
+			rank++
+		}
+	}
+	return rank
+}

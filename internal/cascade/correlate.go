@@ -1,0 +1,355 @@
+package cascade
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"linkpad/internal/adversary"
+	"linkpad/internal/bayes"
+	"linkpad/internal/par"
+)
+
+// End-to-end correlation (correlate.go): the adversary observes every
+// route's entry and exit and must match each unlabeled exit flow back to
+// its entry flow. Two signals are combined, as in the population
+// flow-correlation attack:
+//
+//   - the throughput fingerprint: windowed packet-count vectors of the
+//     entry and exit sides, matched by Pearson correlation
+//     (adversary.RateVector / adversary.Pearson). It identifies the
+//     individual flow whenever payload rate fluctuations survive the
+//     whole route;
+//   - the paper's PIAT class features at the exit
+//     (adversary.MultiPipeline reduced to bayes class posteriors): even
+//     when the route flattens the throughput fingerprint, residual
+//     timing structure may still identify the flow's rate class,
+//     shrinking the anonymity set to the class population. The entry
+//     side is unpadded, so the adversary reads each flow's true class
+//     off the ingress stream directly.
+//
+// Scores combine additively in log space, flows are assigned greedily
+// (adversary.GreedyMatch), and the per-flow match posterior — softmax
+// over a flow's score column — yields the degree of anonymity: the
+// normalized entropy of the adversary's belief about which entry flow an
+// exit flow belongs to (1 = uniform over all flows, 0 = identified).
+
+// Config parameterizes the end-to-end correlation attack.
+type Config struct {
+	// Duration is the observation time in stream seconds (required).
+	Duration float64
+	// RateWindow is the throughput-fingerprint bin width in seconds
+	// (0 = 1 s). The fingerprint has floor(Duration/RateWindow) bins.
+	RateWindow float64
+	// CorrWeight scales the rate-correlation term against the class
+	// log-posterior term (0 = 8, matching the population attack).
+	CorrWeight float64
+	// FeatureWindow is the PIAT count reduced to one feature value per
+	// flow (0 = 200); it must match the window the classifiers were
+	// trained at.
+	FeatureWindow int
+	// Classifiers holds one per-feature class classifier (naive-Bayes
+	// combined); may be empty for a pure rate-correlation attack.
+	// Extractors must parallel it.
+	Classifiers []*bayes.Classifier
+	// Extractors are the feature extractors matching Classifiers.
+	Extractors []adversary.Extractor
+	// Workers bounds the per-flow simulation parallelism; results are
+	// identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.RateWindow == 0 {
+		c.RateWindow = 1
+	}
+	if c.CorrWeight == 0 {
+		c.CorrWeight = 8
+	}
+	if c.FeatureWindow == 0 {
+		c.FeatureWindow = 200
+	}
+	return c
+}
+
+// Result reports one end-to-end correlation attack.
+type Result struct {
+	// Flows is the number of end-to-end flows (= exit flows to match).
+	Flows int
+	// Hops is the route length in padded hops.
+	Hops int
+	// Accuracy is the fraction of exit flows assigned to their true
+	// entry flow by the greedy matching.
+	Accuracy float64
+	// ClassAccuracy is the fraction of flows whose rate class the exit
+	// PIAT features identified (0 when no classifiers were supplied).
+	ClassAccuracy float64
+	// MeanRank averages the rank (1 = best) of the true entry flow in
+	// each exit flow's score ordering.
+	MeanRank float64
+	// MeanCorrTrue averages the rate correlation of the true
+	// (entry, exit) pairs: the raw strength of the throughput
+	// fingerprint that survives the route.
+	MeanCorrTrue float64
+	// DegreeOfAnonymity averages the normalized entropy of the per-flow
+	// match posterior (softmax over each exit flow's score column):
+	// 1 means the adversary's belief is uniform over all entry flows,
+	// 0 means the flow is identified.
+	DegreeOfAnonymity float64
+	// HopPPS is each hop's mean emitted packet rate per flow — the
+	// per-link bandwidth of the route, entry hop first.
+	HopPPS []float64
+	// HopDummyFrac is each hop's dummy fraction (dummies/emitted).
+	HopDummyFrac []float64
+	// RoutePPS sums HopPPS: the route's total bandwidth cost per flow.
+	// For unpadded (zero-hop) routes it is the exit stream's rate.
+	RoutePPS float64
+	// DummyFrac is the whole route's dummy fraction: dummies over
+	// emitted packets, summed across hops and flows.
+	DummyFrac float64
+}
+
+// routeObs is the reduced observation of one route.
+type routeObs struct {
+	class     int
+	ingRate   []float64
+	egRate    []float64
+	logPost   []float64 // class log posteriors of the exit flow (clamped)
+	hops      []HopStats
+	exitCount int
+}
+
+// Correlate runs the attack end to end: simulate every route (in
+// parallel, flows as the unit of parallelism), reduce each side to its
+// throughput fingerprint and exit class posteriors, score every
+// (entry, exit) pair, match greedily, and account the per-hop overhead.
+// Exit flow f's true entry flow is flow f; the adversary's scores never
+// read that identity, only the observations.
+func Correlate(e *Engine, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if e == nil {
+		return nil, errors.New("cascade: nil engine")
+	}
+	if !(cfg.Duration > 0) {
+		return nil, errors.New("cascade: observation duration must be positive")
+	}
+	if len(cfg.Classifiers) != len(cfg.Extractors) {
+		return nil, errors.New("cascade: classifiers and extractors must parallel each other")
+	}
+	if cfg.FeatureWindow < 2 {
+		return nil, errors.New("cascade: feature window must be at least 2")
+	}
+	// Floor with an epsilon so a float-noisy integral ratio keeps its
+	// last window instead of silently dropping the tail of both
+	// fingerprints (same guard as the population attack).
+	bins := int(cfg.Duration/cfg.RateWindow + 1e-9)
+	if bins < 2 {
+		return nil, errors.New("cascade: need at least two rate windows over the duration")
+	}
+
+	flows := e.Flows()
+	obs := make([]routeObs, flows)
+	workers := par.Workers(cfg.Workers)
+	if workers > flows {
+		workers = flows
+	}
+	pipes := make([]*adversary.MultiPipeline, workers)
+	outs := make([][]float64, workers)
+	exits := make([][]float64, workers) // reusable per-worker exit-time slabs
+	piats := make([][]float64, workers)
+	lps := make([][]float64, workers)
+	for i := range pipes {
+		if len(cfg.Extractors) > 0 {
+			mp, err := adversary.NewMultiPipeline(cfg.Extractors)
+			if err != nil {
+				return nil, err
+			}
+			pipes[i] = mp
+			outs[i] = make([]float64, len(cfg.Extractors))
+		}
+	}
+	err := par.MapWorker(flows, workers, func(worker, f int) error {
+		route, err := e.Route(f)
+		if err != nil {
+			return fmt.Errorf("cascade: route %d: %w", f, err)
+		}
+		if route.Entry == nil {
+			return fmt.Errorf("cascade: route %d has no entry recorder", f)
+		}
+		// Pull the exit stream through the whole route into the worker's
+		// reusable slab; the entry recorder fills as a side effect.
+		buf := exits[worker][:0]
+		for {
+			t := route.Exit.Next()
+			if t > cfg.Duration {
+				break
+			}
+			buf = append(buf, t)
+		}
+		exits[worker] = buf
+		o := &obs[f]
+		o.class = route.Class
+		o.exitCount = len(buf)
+		o.ingRate = make([]float64, bins)
+		o.egRate = make([]float64, bins)
+		if _, err := adversary.RateVector(route.Entry.Times(), 0, cfg.RateWindow, o.ingRate); err != nil {
+			return err
+		}
+		if _, err := adversary.RateVector(buf, 0, cfg.RateWindow, o.egRate); err != nil {
+			return err
+		}
+		o.hops = make([]HopStats, len(route.Hops))
+		for h, probe := range route.Hops {
+			o.hops[h] = probe()
+		}
+		if len(cfg.Classifiers) == 0 {
+			return nil
+		}
+		// Reduce the exit flow's first FeatureWindow PIATs to one value
+		// per feature, then to clamped class log posteriors.
+		if len(buf) < cfg.FeatureWindow+1 {
+			return fmt.Errorf("cascade: route %d has %d exit packets, need %d for the feature window",
+				f, len(buf), cfg.FeatureWindow+1)
+		}
+		pb := piats[worker]
+		if cap(pb) < cfg.FeatureWindow {
+			pb = make([]float64, cfg.FeatureWindow)
+		}
+		pb = pb[:cfg.FeatureWindow]
+		for i := range pb {
+			pb[i] = buf[i+1] - buf[i]
+		}
+		piats[worker] = pb
+		if err := pipes[worker].ExtractFrom(adversary.NewReplay(pb), cfg.FeatureWindow, outs[worker]); err != nil {
+			return err
+		}
+		o.logPost = make([]float64, cfg.Classifiers[0].NumClasses())
+		for fi, cls := range cfg.Classifiers {
+			lp := cls.LogPosteriorsInto(outs[worker][fi], lps[worker])
+			lps[worker] = lp
+			adversary.AddClampedLogPosts(o.logPost, lp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Score every (entry, exit) pair: rate correlation plus the exit
+	// flow's posterior for the entry flow's class.
+	score := make([]float64, flows*flows)
+	corrTrue := 0.0
+	for f := 0; f < flows; f++ {
+		for u := 0; u < flows; u++ {
+			corr, err := adversary.Pearson(obs[u].ingRate, obs[f].egRate)
+			if err != nil {
+				return nil, err
+			}
+			v := cfg.CorrWeight * corr
+			if obs[f].logPost != nil {
+				v += obs[f].logPost[obs[u].class]
+			}
+			score[u*flows+f] = v
+			if u == f {
+				corrTrue += corr
+			}
+		}
+	}
+	assignedF, err := adversary.GreedyMatch(score, flows)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Flows: flows, Hops: e.Hops(), MeanCorrTrue: corrTrue / float64(flows)}
+	correct, classCorrect := 0, 0
+	var rankSum, anonSum float64
+	post := make([]float64, flows)
+	for f := 0; f < flows; f++ {
+		if assignedF[f] == f {
+			correct++
+		}
+		rankSum += float64(adversary.TrueRank(score, flows, f))
+		anonSum += columnAnonymity(score, flows, f, post)
+		if obs[f].logPost != nil {
+			best, bestV := 0, obs[f].logPost[0]
+			for c := 1; c < len(obs[f].logPost); c++ {
+				if obs[f].logPost[c] > bestV {
+					best, bestV = c, obs[f].logPost[c]
+				}
+			}
+			if best == obs[f].class {
+				classCorrect++
+			}
+		}
+	}
+	res.Accuracy = float64(correct) / float64(flows)
+	res.MeanRank = rankSum / float64(flows)
+	res.DegreeOfAnonymity = anonSum / float64(flows)
+	if len(cfg.Classifiers) > 0 {
+		res.ClassAccuracy = float64(classCorrect) / float64(flows)
+	}
+
+	// Matched-overhead accounting, reduced in flow order: each hop's
+	// emitted rate and dummy fraction, averaged over flows.
+	hops := e.Hops()
+	if hops > 0 {
+		res.HopPPS = make([]float64, hops)
+		res.HopDummyFrac = make([]float64, hops)
+		var emittedAll, dummiesAll float64
+		for h := 0; h < hops; h++ {
+			var emitted, dummies float64
+			for f := 0; f < flows; f++ {
+				if len(obs[f].hops) != hops {
+					return nil, fmt.Errorf("cascade: route %d reports %d hops, engine has %d",
+						f, len(obs[f].hops), hops)
+				}
+				emitted += float64(obs[f].hops[h].Emitted)
+				dummies += float64(obs[f].hops[h].Dummies)
+			}
+			res.HopPPS[h] = emitted / (float64(flows) * cfg.Duration)
+			if emitted > 0 {
+				res.HopDummyFrac[h] = dummies / emitted
+			}
+			res.RoutePPS += res.HopPPS[h]
+			emittedAll += emitted
+			dummiesAll += dummies
+		}
+		if emittedAll > 0 {
+			res.DummyFrac = dummiesAll / emittedAll
+		}
+	} else {
+		// An unpadded route's wire rate is the exit stream itself.
+		var exitAll float64
+		for f := range obs {
+			exitAll += float64(obs[f].exitCount)
+		}
+		res.RoutePPS = exitAll / (float64(flows) * cfg.Duration)
+	}
+	return res, nil
+}
+
+// columnAnonymity returns the normalized entropy of the softmax over
+// exit flow f's score column — the degree of anonymity of that flow's
+// match posterior. tmp must have length n.
+func columnAnonymity(score []float64, n, f int, tmp []float64) float64 {
+	max := math.Inf(-1)
+	for u := 0; u < n; u++ {
+		if s := score[u*n+f]; s > max {
+			max = s
+		}
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		tmp[u] = math.Exp(score[u*n+f] - max)
+		sum += tmp[u]
+	}
+	var h float64
+	for u := 0; u < n; u++ {
+		p := tmp[u] / sum
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(n))
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"linkpad/internal/adversary"
+	"linkpad/internal/analytic"
+	"linkpad/internal/bayes"
+	"linkpad/internal/cascade"
+	"linkpad/internal/gateway"
+	"linkpad/internal/netem"
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// Cascade entry points: a System description plus a CascadeSpec
+// instantiate the multi-hop route engine (internal/cascade) against the
+// system's rate classes, jitter model and exit observation chain. Every
+// hop's randomness derives from (seed, class, flow, hopID) role streams
+// in the cascade stream domain (domains.go), so cascades never share
+// randomness with the replica, session or population protocols, and
+// flows — the unit of parallelism — never share randomness with each
+// other.
+
+// CascadePolicy selects one hop's padding stage.
+type CascadePolicy int
+
+// Supported hop policies.
+const (
+	// CascadeCIT is a constant-interval re-padding timer hop (default).
+	CascadeCIT CascadePolicy = iota
+	// CascadeVIT is a variable-interval re-padding timer hop.
+	CascadeVIT
+	// CascadeMix is a Chaum batch-of-K hop: no timer, no dummies.
+	CascadeMix
+)
+
+// String names the policy.
+func (p CascadePolicy) String() string {
+	switch p {
+	case CascadeCIT:
+		return "CIT"
+	case CascadeVIT:
+		return "VIT"
+	case CascadeMix:
+		return "MIX"
+	default:
+		return "unknown"
+	}
+}
+
+// CascadeHop describes one padded hop of a route. Each hop composes its
+// own timer policy (or mix stage), the host jitter model shared with the
+// rest of the system, and optionally its own outgoing netem link.
+type CascadeHop struct {
+	// Policy selects the hop's padding stage.
+	Policy CascadePolicy
+	// Tau is the hop's mean timer interval; 0 inherits the system Tau.
+	// Ignored by mix hops.
+	Tau float64
+	// SigmaT is the interval standard deviation of a VIT hop (required
+	// positive for VIT; must be zero otherwise).
+	SigmaT float64
+	// MixK is the batch size of a mix hop (0 = default 8; must be zero
+	// for timer hops).
+	MixK int
+	// Link, when non-nil, is the hop's outgoing router link; nil means a
+	// dedicated (zero cross traffic) link.
+	Link *HopSpec
+}
+
+// CascadeSpec describes a multi-hop route topology layered on the
+// system: the per-hop padding stages and the concurrent end-to-end flows
+// the adversary observes.
+type CascadeSpec struct {
+	// Hops are the route's padded hops in order, entry hop first. An
+	// empty route is the unpadded passthrough — the no-countermeasure
+	// anchor, where the exit stream is the payload stream itself.
+	Hops []CascadeHop
+	// Flows is the number of concurrent end-to-end flows (at least 2).
+	Flows int
+	// ClassMix weighs the system's rate classes across the flows
+	// (len(Rates) entries, positive); nil means equal shares. Flows are
+	// striped deterministically, like population users.
+	ClassMix []float64
+}
+
+// maxCascadeHops bounds the route length: the hop index must fit its
+// stream-ID byte with room to spare, and routes past a few hops are
+// already far beyond deployed cascade lengths.
+const maxCascadeHops = 32
+
+// cascadeMixSpacing is the wire spacing of mix-hop burst packets
+// (1500 B at 100 Mbit/s, matching the single-link MixSpec default).
+const cascadeMixSpacing = 120e-6
+
+// validateCascade checks the spec against the system.
+func (s *System) validateCascade(spec CascadeSpec) error {
+	if spec.Flows < 2 {
+		return errors.New("core: cascade needs at least two flows")
+	}
+	if len(spec.Hops) > maxCascadeHops {
+		return fmt.Errorf("core: cascade route has %d hops, limit %d", len(spec.Hops), maxCascadeHops)
+	}
+	for i, h := range spec.Hops {
+		if h.Tau < 0 {
+			return fmt.Errorf("core: cascade hop %d has negative Tau", i)
+		}
+		switch h.Policy {
+		case CascadeCIT, CascadeVIT:
+			if h.MixK != 0 {
+				return fmt.Errorf("core: cascade hop %d sets MixK on a timer policy", i)
+			}
+			if h.Policy == CascadeVIT && !(h.SigmaT > 0) {
+				return fmt.Errorf("core: cascade hop %d is VIT but SigmaT is not positive", i)
+			}
+			if h.Policy == CascadeCIT && h.SigmaT != 0 {
+				return fmt.Errorf("core: cascade hop %d sets SigmaT on a CIT policy", i)
+			}
+		case CascadeMix:
+			if h.SigmaT != 0 {
+				return fmt.Errorf("core: cascade hop %d sets SigmaT on a mix", i)
+			}
+			if h.MixK < 0 || h.MixK == 1 {
+				return fmt.Errorf("core: cascade hop %d mix batch must be at least 2", i)
+			}
+		default:
+			return fmt.Errorf("core: cascade hop %d has unknown policy %v", i, h.Policy)
+		}
+		if h.Link != nil {
+			l := *h.Link
+			if !(l.CapacityBps > 0) || l.PacketBytes <= 0 {
+				return fmt.Errorf("core: cascade hop %d has invalid link parameters", i)
+			}
+			if err := l.Util.Validate(); err != nil {
+				return fmt.Errorf("core: cascade hop %d: %w", i, err)
+			}
+			if l.PropDelay < 0 {
+				return fmt.Errorf("core: cascade hop %d has negative propagation delay", i)
+			}
+		}
+	}
+	return s.validateClassMix(spec.ClassMix)
+}
+
+// hopTau resolves one hop's timer interval.
+func (s *System) hopTau(h CascadeHop) float64 {
+	if h.Tau > 0 {
+		return h.Tau
+	}
+	return s.cfg.Tau
+}
+
+// buildRoute assembles one flow's route: the class payload source feeds
+// the entry hop, every later hop re-pads its upstream's departure stream
+// (a hop cannot tell upstream dummies from payload), and the system's
+// exit observation chain — network path and tap imperfections — follows
+// the last hop. withEntry attaches the adversary's entry recorder to the
+// first stage's arrival tap. All randomness derives from (seed, class,
+// flow, hop) role streams, so the route is a pure function of the flow
+// identity.
+func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (*cascade.Route, error) {
+	var rec *cascade.Recorder
+	var entryTap func(float64)
+	if withEntry {
+		rec = &cascade.Recorder{}
+		entryTap = rec.Record
+	}
+	payload, err := s.payloadSource(class,
+		xrand.New(s.streamSeed(class, cascadeStreamID(flow, 0, cascadeRolePayload))))
+	if err != nil {
+		return nil, err
+	}
+
+	var stream netem.TimeStream
+	var probes []cascade.HopProbe
+	if len(spec.Hops) == 0 {
+		stream = &rawLink{src: payload, tap: entryTap}
+	} else {
+		var src traffic.Source = payload
+		for h, hop := range spec.Hops {
+			master := xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleHop)))
+			var tap func(float64)
+			if h == 0 {
+				tap = entryTap
+			}
+			tau := s.hopTau(hop)
+			// A timer hop emits at its own 1/τ; a mix hop forwards at its
+			// input's rate. Resolve the nominal downstream rate before src
+			// is rebound to this hop's output.
+			outRate := 1 / tau
+			if hop.Policy == CascadeMix {
+				outRate = src.Rate()
+			}
+			switch hop.Policy {
+			case CascadeMix:
+				k := hop.MixK
+				if k == 0 {
+					k = 8
+				}
+				mix, err := gateway.NewMix(gateway.MixConfig{
+					K:           k,
+					SendSpacing: cascadeMixSpacing,
+					Payload:     src,
+					Jitter:      s.cfg.Jitter,
+					RNG:         master.Split(),
+					ArrivalTap:  tap,
+				})
+				if err != nil {
+					return nil, err
+				}
+				probes = append(probes, func() cascade.HopStats {
+					return cascade.HopStats{Policy: "MIX", Emitted: mix.Packets()}
+				})
+				stream = mix
+			default:
+				var policy gateway.TimerPolicy
+				if hop.Policy == CascadeVIT {
+					policy, err = gateway.NewVIT(tau, hop.SigmaT, master.Split())
+				} else {
+					policy, err = gateway.NewCIT(tau)
+				}
+				if err != nil {
+					return nil, err
+				}
+				// Hops share no clock: each timer grid gets a private
+				// random phase, or consecutive equal-τ hops would sit
+				// phase-locked on each other's grid boundaries.
+				policy, err = cascade.NewPhasedPolicy(policy, master.Split())
+				if err != nil {
+					return nil, err
+				}
+				gw, err := gateway.New(gateway.Config{
+					Policy:     policy,
+					Jitter:     s.cfg.Jitter,
+					Payload:    src,
+					RNG:        master.Split(),
+					ArrivalTap: tap,
+				})
+				if err != nil {
+					return nil, err
+				}
+				name := hop.Policy.String()
+				probes = append(probes, func() cascade.HopStats {
+					st := gw.Stats()
+					return cascade.HopStats{Policy: name, Emitted: st.Fires, Dummies: st.Dummies}
+				})
+				stream = gw
+			}
+			if hop.Link != nil {
+				stream, err = netem.NewFastRouter(stream, hop.Link.service(),
+					netem.DiurnalUtil(hop.Link.Util, s.cfg.StartHour), hop.Link.PropDelay, master.Split())
+				if err != nil {
+					return nil, err
+				}
+			}
+			if h < len(spec.Hops)-1 {
+				src, err = cascade.NewStreamSource(stream, outRate)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// The system-level network path and tap imperfections form the exit
+	// observation chain, exactly as for the single padded link.
+	exitMaster := xrand.New(s.streamSeed(class,
+		cascadeStreamID(flow, len(spec.Hops), cascadeRoleExit)))
+	exit, err := s.observationChain(stream, exitMaster)
+	if err != nil {
+		return nil, err
+	}
+	return cascade.NewRoute(class, exit, rec, probes)
+}
+
+// NewCascade instantiates the multi-hop route engine: Flows end-to-end
+// flows, each crossing the spec's padded hops, with rate classes striped
+// across the flows by ClassMix. Every flow's route derives from (seed,
+// class, flowID) role streams in the cascade domain.
+func (s *System) NewCascade(spec CascadeSpec) (*cascade.Engine, error) {
+	if err := s.validateCascade(spec); err != nil {
+		return nil, err
+	}
+	cum := s.classCum(spec.ClassMix)
+	build := func(flow int) (*cascade.Route, error) {
+		return s.buildRoute(spec, classOf(flow, spec.Flows, cum), flow, true)
+	}
+	return cascade.NewEngine(spec.Flows, len(spec.Hops), build)
+}
+
+// CascadeCorrConfig parameterizes the end-to-end cascade correlation
+// attack run through a System: the attack-side knobs mirror
+// cascade.Config, plus the off-line training effort for the exit-side
+// PIAT class classifiers.
+type CascadeCorrConfig struct {
+	// Duration is the per-flow observation time in stream seconds
+	// (0 = 60).
+	Duration float64
+	// RateWindow is the throughput-fingerprint bin width (0 = 1 s).
+	RateWindow float64
+	// CorrWeight scales rate correlation against the class posterior
+	// (0 = default).
+	CorrWeight float64
+	// Features are the PIAT statistics the exit classifiers use; empty
+	// runs a pure rate-correlation attack. Ignored for zero-hop routes
+	// (an unpadded route needs no class fingerprint).
+	Features []analytic.Feature
+	// FeatureWindow is the PIAT count per feature value (0 = 200).
+	FeatureWindow int
+	// TrainWindows is the number of off-line training windows per class
+	// for the classifiers (0 = 120).
+	TrainWindows int
+	// Workers bounds the per-flow/per-window parallelism; results are
+	// identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c CascadeCorrConfig) withDefaults() CascadeCorrConfig {
+	if c.Duration == 0 {
+		c.Duration = 60
+	}
+	if c.FeatureWindow == 0 {
+		c.FeatureWindow = 200
+	}
+	if c.TrainWindows == 0 {
+		c.TrainWindows = 120
+	}
+	return c
+}
+
+// RunCascadeCorrelation runs the end-to-end correlation attack against a
+// fresh cascade: the adversary first trains per-class PIAT classifiers
+// on phantom flows (fresh realizations of the same route construction,
+// so training observes the full multi-hop re-padding exactly as run time
+// does), then observes every flow's entry and exit for cfg.Duration and
+// matches exit flows to entry flows by throughput-fingerprint
+// correlation plus exit class posteriors. Results are identical at any
+// cfg.Workers width; flows are the unit of parallelism.
+func (s *System) RunCascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) (*cascade.Result, error) {
+	if err := s.validateCascade(spec); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(spec.Hops) == 0 {
+		cfg.Features = nil
+	}
+	if cfg.TrainWindows < 2 {
+		return nil, errors.New("core: cascade correlation needs at least two training windows per class")
+	}
+	m := len(s.cfg.Rates)
+
+	// Off-line phase: per-class exit feature densities from phantom
+	// flows, which reuse the population protocol's phantom index block —
+	// a disjoint flow range of the cascade domain real flows never reach.
+	var classifiers []*bayes.Classifier
+	var exts []adversary.Extractor
+	if len(cfg.Features) > 0 {
+		exts = make([]adversary.Extractor, len(cfg.Features))
+		for i, f := range cfg.Features {
+			exts[i] = adversary.Extractor{Feature: f}
+		}
+		labels := s.Labels()
+		trainPerClass := make([][][]float64, m)
+		for c := 0; c < m; c++ {
+			class := c
+			factory := func(w int) (adversary.PIATSource, error) {
+				route, err := s.buildRoute(spec, class,
+					phantomUserBase+class*cfg.TrainWindows+w, false)
+				if err != nil {
+					return nil, err
+				}
+				return netem.NewDiffer(route.Exit), nil
+			}
+			mat, err := adversary.FeatureMatrix(factory, exts,
+				cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("core: training class %q: %w", labels[c], err)
+			}
+			trainPerClass[c] = mat
+		}
+		classifiers = make([]*bayes.Classifier, len(exts))
+		for fi := range exts {
+			perClass := make([][]float64, m)
+			for c := 0; c < m; c++ {
+				perClass[c] = trainPerClass[c][fi]
+			}
+			cls, err := bayes.TrainKDE(labels, perClass, nil)
+			if err != nil {
+				return nil, err
+			}
+			classifiers[fi] = cls
+		}
+	}
+
+	eng, err := s.NewCascade(spec)
+	if err != nil {
+		return nil, err
+	}
+	return cascade.Correlate(eng, cascade.Config{
+		Duration:      cfg.Duration,
+		RateWindow:    cfg.RateWindow,
+		CorrWeight:    cfg.CorrWeight,
+		FeatureWindow: cfg.FeatureWindow,
+		Classifiers:   classifiers,
+		Extractors:    exts,
+		Workers:       cfg.Workers,
+	})
+}

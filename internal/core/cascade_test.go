@@ -1,0 +1,184 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"linkpad/internal/analytic"
+	"linkpad/internal/cascade"
+	"linkpad/internal/traffic"
+)
+
+// twoHopSpec is the small cascade the determinism tests run: two CIT
+// hops, eight flows.
+func twoHopSpec() CascadeSpec {
+	return CascadeSpec{Hops: make([]CascadeHop, 2), Flows: 8}
+}
+
+// Cascade results must be byte-identical at any worker width, mirroring
+// the replica/session/population invariance tests: flows are the unit of
+// parallelism and every flow's route derives from (seed, class, flowID)
+// role streams alone.
+func TestRunCascadeCorrelationWorkerInvariance(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CascadeCorrConfig{
+		Duration:      20,
+		FeatureWindow: 100,
+		TrainWindows:  12,
+		Features:      []analytic.Feature{analytic.FeatureVariance},
+	}
+	run := func(workers int) *cascade.Result {
+		c := cfg
+		c.Workers = workers
+		res, err := sys.RunCascadeCorrelation(twoHopSpec(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+		got := run(w)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: cascade result differs\n got %+v\nwant %+v", w, got, ref)
+		}
+	}
+}
+
+func TestCascadeSpecValidation(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vit := CascadeHop{Policy: CascadeVIT, SigmaT: 30e-6}
+	bad := []CascadeSpec{
+		{Flows: 1, Hops: []CascadeHop{{}}},
+		{Flows: 8, Hops: make([]CascadeHop, maxCascadeHops+1)},
+		{Flows: 8, Hops: []CascadeHop{{Policy: CascadeVIT}}},
+		{Flows: 8, Hops: []CascadeHop{{SigmaT: 1e-6}}},
+		{Flows: 8, Hops: []CascadeHop{{MixK: 8}}},
+		{Flows: 8, Hops: []CascadeHop{{Policy: CascadeMix, MixK: 1}}},
+		{Flows: 8, Hops: []CascadeHop{{Policy: CascadeMix, SigmaT: 1e-6}}},
+		{Flows: 8, Hops: []CascadeHop{{Tau: -1}}},
+		{Flows: 8, Hops: []CascadeHop{{Policy: CascadePolicy(99)}}},
+		{Flows: 8, Hops: []CascadeHop{{Link: &HopSpec{}}}},
+		{Flows: 8, Hops: []CascadeHop{vit}, ClassMix: []float64{1}},
+		{Flows: 8, Hops: []CascadeHop{vit}, ClassMix: []float64{1, 0}},
+	}
+	for i, spec := range bad {
+		if _, err := sys.NewCascade(spec); err == nil {
+			t.Errorf("spec %d (%+v) should fail validation", i, spec)
+		}
+	}
+	good := []CascadeSpec{
+		{Flows: 2}, // unpadded passthrough
+		{Flows: 8, Hops: []CascadeHop{{}, vit, {Policy: CascadeMix}}},
+		{Flows: 8, Hops: []CascadeHop{{Tau: 5e-3}}, ClassMix: []float64{3, 1}},
+	}
+	for i, spec := range good {
+		if _, err := sys.NewCascade(spec); err != nil {
+			t.Errorf("spec %d should validate: %v", i, err)
+		}
+	}
+}
+
+// A route is a pull-driven pipeline reusing every per-hop buffer: once
+// warmed past the gateway queues' growth, pulling packets through the
+// whole chain — payload source, three re-padding stages (CIT, mix, VIT),
+// a hop link, and the entry recorder — allocates nothing.
+func TestCascadeRouteAllocFree(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := &HopSpec{CapacityBps: 100e6, PacketBytes: 200, Util: traffic.Constant(0.2)}
+	spec := CascadeSpec{
+		Hops: []CascadeHop{
+			{},
+			{Policy: CascadeMix, Link: link},
+			{Policy: CascadeVIT, SigmaT: 30e-6},
+		},
+		Flows: 2,
+	}
+	route, err := sys.buildRoute(spec, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6000; i++ {
+		route.Exit.Next()
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		route.Entry.Reset()
+		for i := 0; i < 200; i++ {
+			route.Exit.Next()
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state route pull allocates %v times per 200 packets", avg)
+	}
+}
+
+// The system-level network path and tap imperfections must form the
+// cascade's exit observation chain (the layering every protocol shares),
+// not be silently ignored.
+func TestCascadeHonorsExitObservationChain(t *testing.T) {
+	cfg := DefaultLabConfig()
+	cfg.Hops = []HopSpec{{
+		CapacityBps: 100e6,
+		PacketBytes: 200,
+		Util:        traffic.Constant(0.2),
+	}}
+	cfg.TapLossProb = 0.05
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := CascadeCorrConfig{Duration: 20}
+	netRes, err := sys.RunCascadeCorrelation(twoHopSpec(), attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.RunCascadeCorrelation(twoHopSpec(), attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(netRes, cleanRes) {
+		t.Error("network path and tap loss left the cascade observations unchanged")
+	}
+}
+
+// Flow classes stripe over ClassMix exactly like population users.
+func TestCascadeClassMixStriping(t *testing.T) {
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := CascadeSpec{Flows: 40, Hops: []CascadeHop{{}}, ClassMix: []float64{3, 1}}
+	eng, err := sys.NewCascade(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := sys.classCum(spec.ClassMix)
+	counts := [2]int{}
+	for f := 0; f < spec.Flows; f++ {
+		route, err := eng.Route(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if route.Class != classOf(f, spec.Flows, cum) {
+			t.Fatalf("flow %d class disagrees with striping", f)
+		}
+		counts[route.Class]++
+	}
+	if counts[0] != 30 || counts[1] != 10 {
+		t.Errorf("class mix 3:1 over 40 flows gave %v, want [30 10]", counts)
+	}
+}

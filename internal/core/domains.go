@@ -14,6 +14,14 @@ package core
 //	bit 63         bit 62         bits 32..61           bits 0..31
 //	session flag   population flag  window/session index  phase base / user+role
 //
+// The two flag bits select four disjoint domains:
+//
+//	bits 63,62   domain
+//	0 0          replica (i.i.d. windows)
+//	1 0          session (continuous streams)
+//	0 1          population (multi-user mix)
+//	1 1          cascade (multi-hop routes)
+//
 // Replica domain (bits 63..62 clear): the i.i.d.-window protocol.
 // Phase base IDs are small integers in the low 32 bits (training 1,
 // evaluation 2, diagnostics base+1000, padCost 99, ...); trial window w
@@ -34,11 +42,23 @@ package core
 // the same user. Population index spreading therefore never reaches
 // bit 62 (user indices are bounded far below 2³²), and the flag keeps the
 // domain disjoint from both protocols above.
+//
+// Cascade domain (bits 63 and 62 both set): the multi-hop route engine
+// (core cascade entry points). Flow f's streams read
+// cascadeStreamID(f, hop, role): the flow index occupies bits 16..47, the
+// hop index bits 8..15, and the low byte selects the role — the flow's
+// payload process, each hop's padding stage (timer phase, policy, jitter,
+// link), and the exit observation chain are disjoint streams of the same
+// flow. Flow indices (phantom training flows included, base 2²⁴) stay far
+// below 2³², so the spreading never reaches bit 62, and the two-bit flag
+// keeps the domain disjoint from all three protocols above.
 const (
 	// sessionDomain tags the stream IDs of continuous sessions (bit 63).
 	sessionDomain = uint64(1) << 63
 	// populationDomain tags the stream IDs of population users (bit 62).
 	populationDomain = uint64(1) << 62
+	// cascadeDomain tags the stream IDs of cascade flows (bits 63+62).
+	cascadeDomain = sessionDomain | populationDomain
 )
 
 // Population role sub-streams within one user's ID block (low byte of the
@@ -74,4 +94,26 @@ func windowStreamID(base uint64, w int) uint64 {
 // users and their internal elements disjoint from each other.
 func populationStreamID(user int, role uint64) uint64 {
 	return populationDomain | uint64(user)<<8 | role
+}
+
+// Cascade role sub-streams within one (flow, hop) ID block (low byte of
+// the stream ID). Hop-independent roles (the flow's payload arrivals)
+// read hop 0; the exit observation chain reads one hop past the last.
+const (
+	// cascadeRolePayload drives the flow's payload arrivals (hop 0 only).
+	cascadeRolePayload = iota
+	// cascadeRoleHop drives one hop's padding stage: timer phase, policy
+	// randomness, gateway jitter, and the hop's outgoing link.
+	cascadeRoleHop
+	// cascadeRoleExit drives the exit observation chain (the system-level
+	// network path and tap imperfections past the last hop).
+	cascadeRoleExit
+)
+
+// cascadeStreamID derives the stream ID of one role stream of cascade
+// flow f at the given hop. The two-bit cascade flag keeps the block
+// disjoint from every other protocol; the flow, hop and role fields keep
+// flows, hops and their internal elements disjoint from each other.
+func cascadeStreamID(flow, hop int, role uint64) uint64 {
+	return cascadeDomain | uint64(flow)<<16 | uint64(hop)<<8 | role
 }

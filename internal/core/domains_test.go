@@ -2,7 +2,7 @@ package core
 
 import "testing"
 
-// The three observation protocols must draw from pairwise-disjoint
+// The four observation protocols must draw from pairwise-disjoint
 // stream-ID ranges: a collision would mean two protocols observe the
 // *identical* realization of the system, silently correlating data that
 // the threat model requires to be independent. Sweep the realistic
@@ -50,10 +50,26 @@ func TestStreamDomainsDisjoint(t *testing.T) {
 		}
 	}
 
+	// Cascade domain: flow × hop × role blocks under both flag bits.
+	// Flow indices cover real flows and the phantom training block
+	// (phantomUserBase + class·windows + w); hops are bounded by
+	// maxCascadeHops, with the exit role one past the last hop.
+	flows := []int{0, 1, 7, 1000, phantomUserBase, phantomUserBase + 4095}
+	for _, f := range flows {
+		for hop := 0; hop <= maxCascadeHops; hop++ {
+			for role := uint64(cascadeRolePayload); role <= cascadeRoleExit; role++ {
+				add(cascadeStreamID(f, hop, role), "cascade")
+			}
+		}
+	}
+
 	// The flags themselves must disagree: session sets bit 63, population
-	// sets bit 62 only, replica sets neither.
+	// sets bit 62 only, cascade sets both, replica sets neither.
 	if sessionDomain&populationDomain != 0 {
 		t.Fatal("session and population domain flags overlap")
+	}
+	if cascadeDomain != sessionDomain|populationDomain {
+		t.Fatal("cascade domain must set both flag bits")
 	}
 	for _, b := range bases {
 		for _, w := range windows {
@@ -65,6 +81,15 @@ func TestStreamDomainsDisjoint(t *testing.T) {
 	for _, u := range users {
 		if id := populationStreamID(u, popRoleLink); id&sessionDomain != 0 {
 			t.Fatalf("population ID %#x (user %d) reaches the session flag", id, u)
+		}
+	}
+	// Cascade flow spreading must stay inside the flagged block: clearing
+	// the flags must never carry into bit 62 (which would alias another
+	// domain's flag pattern).
+	for _, f := range flows {
+		id := cascadeStreamID(f, maxCascadeHops, cascadeRoleExit)
+		if (id &^ cascadeDomain) >= populationDomain {
+			t.Fatalf("cascade ID %#x (flow %d) spreads into the flag bits", id, f)
 		}
 	}
 }

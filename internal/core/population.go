@@ -85,29 +85,39 @@ func (s *System) validatePopulation(spec PopulationSpec) error {
 	if spec.CoverRate > 0 && spec.CoverToPPS > 0 {
 		return errors.New("core: CoverRate and CoverToPPS are mutually exclusive")
 	}
-	if spec.ClassMix != nil {
-		if len(spec.ClassMix) != len(s.cfg.Rates) {
-			return fmt.Errorf("core: ClassMix has %d entries for %d rate classes",
-				len(spec.ClassMix), len(s.cfg.Rates))
-		}
-		for i, w := range spec.ClassMix {
-			if !(w > 0) {
-				return fmt.Errorf("core: ClassMix entry %d must be positive", i)
-			}
+	return s.validateClassMix(spec.ClassMix)
+}
+
+// validateClassMix checks a class-weight vector against the system's
+// rate classes (nil means equal shares and is always valid). Shared by
+// the population and cascade specs.
+func (s *System) validateClassMix(mix []float64) error {
+	if mix == nil {
+		return nil
+	}
+	if len(mix) != len(s.cfg.Rates) {
+		return fmt.Errorf("core: ClassMix has %d entries for %d rate classes",
+			len(mix), len(s.cfg.Rates))
+	}
+	for i, w := range mix {
+		if !(w > 0) {
+			return fmt.Errorf("core: ClassMix entry %d must be positive", i)
 		}
 	}
 	return nil
 }
 
-// classCum returns the cumulative normalized class weights.
-func (s *System) classCum(spec PopulationSpec) []float64 {
+// classCum returns the cumulative normalized class weights for a mix
+// vector (nil = equal shares). Shared by the population and cascade
+// protocols, which stripe their users/flows over the same rule.
+func (s *System) classCum(mix []float64) []float64 {
 	m := len(s.cfg.Rates)
 	cum := make([]float64, m)
 	var total float64
 	for c := 0; c < m; c++ {
 		w := 1.0
-		if spec.ClassMix != nil {
-			w = spec.ClassMix[c]
+		if mix != nil {
+			w = mix[c]
 		}
 		total += w
 		cum[c] = total
@@ -151,7 +161,7 @@ func (s *System) NewPopulation(spec PopulationSpec) (*population.Engine, error) 
 	if err := s.validatePopulation(spec); err != nil {
 		return nil, err
 	}
-	cum := s.classCum(spec)
+	cum := s.classCum(spec.ClassMix)
 	users := make([]population.User, spec.Users)
 	for u := range users {
 		class := classOf(u, spec.Users, cum)
@@ -323,10 +333,12 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xran
 	return s.observationChain(stream, master)
 }
 
-// phantomUserBase offsets the user indices of the adversary's off-line
-// training flows, so the training corpus and the run-time population
-// observe disjoint realizations within the population domain. Real
-// populations stay far below this index.
+// phantomUserBase offsets the user/flow indices of the adversary's
+// off-line training flows, so the training corpus and the run-time
+// observations use disjoint realizations within their domain. The
+// population and cascade protocols share this convention (each inside
+// its own stream domain); real populations and cascades stay far below
+// this index.
 const phantomUserBase = 1 << 24
 
 // RunFlowCorrelation runs the per-flow correlation attack end to end:
@@ -346,7 +358,7 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 	if cfg.TrainWindows < 2 {
 		return nil, errors.New("core: flow correlation needs at least two training windows per class")
 	}
-	cum := s.classCum(spec)
+	cum := s.classCum(spec.ClassMix)
 	m := len(s.cfg.Rates)
 
 	// Off-line phase: per-class feature densities from phantom flows.

@@ -137,7 +137,7 @@ func TestPopulationClassMix(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := PopulationSpec{Users: 40, Recipients: 40, ClassMix: []float64{3, 1}}.withDefaults()
-	cum := sys.classCum(spec)
+	cum := sys.classCum(spec.ClassMix)
 	counts := [2]int{}
 	for u := 0; u < spec.Users; u++ {
 		counts[classOf(u, spec.Users, cum)]++

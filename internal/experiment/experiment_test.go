@@ -51,9 +51,10 @@ func col(tbl *Table, name string) []float64 {
 func TestRegistry(t *testing.T) {
 	names := Names()
 	want := []string{"ablation-binwidth", "ablation-crossmodel",
-		"ablation-payload", "ablation-population-padding", "ablation-tap",
-		"ablation-theorygap", "ablation-training", "ablation-windowing",
-		"baseline-policies", "ext-disclosure", "ext-features", "ext-online",
+		"ablation-hop-policies", "ablation-payload",
+		"ablation-population-padding", "ablation-tap", "ablation-theorygap",
+		"ablation-training", "ablation-windowing", "baseline-policies",
+		"ext-cascade", "ext-disclosure", "ext-features", "ext-online",
 		"ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig8a",
 		"fig8b", "multirate", "validate-exactnet"}
 	if len(names) != len(want) {
@@ -689,6 +690,121 @@ func TestExtDisclosureCoverMonotone(t *testing.T) {
 		if n == 24 && disclosed[idx[0]] != 1 {
 			t.Errorf("users=24: cover 0 disclosed %v of targets, want all", disclosed[idx[0]])
 		}
+	}
+}
+
+// The cascade extension's headline claim: end-to-end correlation
+// accuracy degrades — and the degree of anonymity rises — with the hop
+// count at matched per-hop overhead. The unpadded anchor loses every
+// flow; one CIT hop erases the throughput fingerprint but leaks the rate
+// class at the exit; the second hop erases the class leak too (its
+// blocking channel sees the upstream's constant 1/τ rate, not the
+// payload rate).
+func TestExtCascadeHopsProtect(t *testing.T) {
+	tbl := runTable(t, "ext-cascade")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 hop-count rows, got %d", len(tbl.Rows))
+	}
+	hops := col(tbl, "hops")
+	acc := col(tbl, "flow_acc")
+	classAcc := col(tbl, "class_acc")
+	anon := col(tbl, "anonymity")
+	corr := col(tbl, "mean_corr_true")
+	pps := col(tbl, "route_pps")
+	dummy := col(tbl, "dummy_frac")
+	// Unpadded anchor: every flow matched, fingerprint intact, no
+	// residual anonymity.
+	if acc[0] != 1 || corr[0] < 0.99 || anon[0] > 0.2 {
+		t.Errorf("unpadded anchor: acc %v corr %v anon %v", acc[0], corr[0], anon[0])
+	}
+	// Correlation accuracy degrades with hop count...
+	if acc[1] > 0.5 || acc[3] > acc[1] {
+		t.Errorf("flow accuracy should degrade with hops: %v", acc)
+	}
+	for i := 1; i < len(corr); i++ {
+		if corr[i] > 0.3 || corr[i] < -0.3 {
+			t.Errorf("hops=%v: padding should erase the fingerprint, corr %v", hops[i], corr[i])
+		}
+	}
+	// ...the first hop still leaks the class, deeper routes do not...
+	if classAcc[1] < 0.85 {
+		t.Errorf("one hop should leak the class at the exit, class acc %v", classAcc[1])
+	}
+	if classAcc[3] > 0.7 || classAcc[1] < classAcc[3]+0.2 {
+		t.Errorf("class leak should die with depth: %v", classAcc)
+	}
+	// ...and the degree of anonymity rises with every hop.
+	for i := 1; i < len(anon); i++ {
+		if anon[i] < anon[i-1]-0.02 {
+			t.Errorf("anonymity not rising with hops: %v", anon)
+		}
+	}
+	if anon[1] < anon[0]+0.2 || anon[3] < anon[1]+0.1 {
+		t.Errorf("anonymity gains too small: %v", anon)
+	}
+	// Matched overhead: every hop adds a 100 pps padded link; dummies are
+	// minted at the entry only, so the route-level dummy fraction dilutes
+	// with depth.
+	for i := 1; i < len(pps); i++ {
+		if want := 100 * hops[i]; pps[i] < want-2 || pps[i] > want+2 {
+			t.Errorf("hops=%v: route pps %v, want ~%v", hops[i], pps[i], want)
+		}
+		if dummy[i] >= dummy[i-1] && i > 1 {
+			t.Errorf("dummy fraction should dilute with depth: %v", dummy)
+		}
+	}
+	if dummy[1] < 0.6 || dummy[1] > 0.85 {
+		t.Errorf("entry-hop dummy fraction %v, want ~0.75", dummy[1])
+	}
+}
+
+// The hop-policy ablation: at equal bandwidth, every timer-entry route
+// protects both the flow and (with depth 2) mostly the class, and hop
+// order matters — a batching mix in front of a timer hop re-introduces
+// the class leak, because the mix's payload-rate bursts drive the
+// downstream timer's blocking channel.
+func TestAblationHopPolicies(t *testing.T) {
+	tbl := runTable(t, "ablation-hop-policies")
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("expected 5 route rows, got %d", len(tbl.Rows))
+	}
+	acc := col(tbl, "flow_acc")
+	classAcc := col(tbl, "class_acc")
+	anon := col(tbl, "anonymity")
+	pps := col(tbl, "route_pps")
+	const citcit, vitvit, citvit, citmix, mixcit = 0, 1, 2, 3, 4
+	for i, a := range acc {
+		if a > 0.5 {
+			t.Errorf("route %d: two padded hops should break per-flow matching, acc %v", i, a)
+		}
+	}
+	// Equal bandwidth for the timer-entry routes; the mix-entry route
+	// pads nothing and rides cheaper.
+	for _, i := range []int{citcit, vitvit, citvit, citmix} {
+		if pps[i] < 195 || pps[i] > 205 {
+			t.Errorf("route %d: pps %v, want ~200", i, pps[i])
+		}
+	}
+	if pps[mixcit] > 150 {
+		t.Errorf("mix-entry route pps %v should undercut the timer routes", pps[mixcit])
+	}
+	// Hop order: mix in front of the timer leaks the class; timer-entry
+	// routes mostly suppress it.
+	if classAcc[mixcit] < 0.85 {
+		t.Errorf("MIX8+CIT should leak the class, class acc %v", classAcc[mixcit])
+	}
+	for _, i := range []int{citcit, vitvit, citvit, citmix} {
+		if classAcc[i] > 0.75 {
+			t.Errorf("route %d: timer-entry route leaks the class, acc %v", i, classAcc[i])
+		}
+		if classAcc[mixcit] < classAcc[i]+0.2 {
+			t.Errorf("mix-entry leak (%v) should clearly exceed route %d (%v)",
+				classAcc[mixcit], i, classAcc[i])
+		}
+	}
+	if anon[mixcit] >= anon[citcit] {
+		t.Errorf("the leaky mix-entry route should be least anonymous: %v vs %v",
+			anon[mixcit], anon[citcit])
 	}
 }
 

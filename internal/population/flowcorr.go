@@ -3,7 +3,6 @@ package population
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"linkpad/internal/adversary"
 	"linkpad/internal/bayes"
@@ -58,7 +57,7 @@ type FlowCorrConfig struct {
 	RateWindow float64
 	// CorrWeight scales the rate-correlation term against the class
 	// log-posterior term (0 = 8; correlation spans [-1, 1], posteriors
-	// span [-postFloor, 0]).
+	// span [-adversary.PostFloor, 0]).
 	CorrWeight float64
 	// FeatureWindow is the PIAT count reduced to one feature value per
 	// flow (0 = 200); it must match the window the classifiers were
@@ -88,11 +87,6 @@ func (c FlowCorrConfig) withDefaults() FlowCorrConfig {
 	}
 	return c
 }
-
-// postFloor bounds one class's log posterior from below so a single
-// out-of-support feature value cannot veto a pairing outright (the same
-// robustification bayes.Sequential applies to anytime decisions).
-const postFloor = 8.0
 
 // FlowCorrResult reports one flow-correlation attack.
 type FlowCorrResult struct {
@@ -208,18 +202,11 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 		if err := pipes[worker].ExtractFrom(adversary.NewReplay(pb), cfg.FeatureWindow, outs[worker]); err != nil {
 			return err
 		}
-		m := cfg.Classifiers[0].NumClasses()
-		o.logPost = make([]float64, m)
+		o.logPost = make([]float64, cfg.Classifiers[0].NumClasses())
 		for fi, cls := range cfg.Classifiers {
 			lp := cls.LogPosteriorsInto(outs[worker][fi], lps[worker])
 			lps[worker] = lp
-			for c := 0; c < m; c++ {
-				v := lp[c]
-				if v < -postFloor {
-					v = -postFloor
-				}
-				o.logPost[c] += v
-			}
+			adversary.AddClampedLogPosts(o.logPost, lp)
 		}
 		return nil
 	})
@@ -250,39 +237,9 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 
 	// Greedy matching: highest score first, deterministic tie-break on
 	// (user, flow) order.
-	type pair struct{ u, f int }
-	pairs := make([]pair, 0, users*users)
-	for u := 0; u < users; u++ {
-		for f := 0; f < users; f++ {
-			pairs = append(pairs, pair{u, f})
-		}
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		si, sj := score[pairs[i].u*users+pairs[i].f], score[pairs[j].u*users+pairs[j].f]
-		if si != sj {
-			return si > sj
-		}
-		if pairs[i].u != pairs[j].u {
-			return pairs[i].u < pairs[j].u
-		}
-		return pairs[i].f < pairs[j].f
-	})
-	assignedU := make([]bool, users)
-	assignedF := make([]int, users) // flow -> user
-	for i := range assignedF {
-		assignedF[i] = -1
-	}
-	matched := 0
-	for _, p := range pairs {
-		if matched == users {
-			break
-		}
-		if assignedU[p.u] || assignedF[p.f] >= 0 {
-			continue
-		}
-		assignedU[p.u] = true
-		assignedF[p.f] = p.u
-		matched++
+	assignedF, err := adversary.GreedyMatch(score, users) // flow -> user
+	if err != nil {
+		return nil, err
 	}
 
 	res := &FlowCorrResult{Users: users, MeanCorrTrue: corrTrue / float64(users)}
@@ -293,18 +250,7 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 			correct++
 		}
 		// Rank of the true user in flow f's score column.
-		trueScore := score[f*users+f]
-		rank := 1
-		for u := 0; u < users; u++ {
-			if u == f {
-				continue
-			}
-			s := score[u*users+f]
-			if s > trueScore || (s == trueScore && u < f) {
-				rank++
-			}
-		}
-		rankSum += float64(rank)
+		rankSum += float64(adversary.TrueRank(score, users, f))
 		if obs[f].logPost != nil {
 			best, bestV := 0, obs[f].logPost[0]
 			for c := 1; c < len(obs[f].logPost); c++ {

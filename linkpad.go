@@ -33,6 +33,7 @@ package linkpad
 
 import (
 	"linkpad/internal/analytic"
+	"linkpad/internal/cascade"
 	"linkpad/internal/core"
 	"linkpad/internal/experiment"
 	"linkpad/internal/population"
@@ -159,6 +160,37 @@ type (
 	// FlowCorrResult reports the flow-matching accuracy, class accuracy
 	// and throughput-fingerprint strength.
 	FlowCorrResult = population.FlowCorrResult
+)
+
+// Multi-hop cascades (see internal/cascade): a route of K padded hops —
+// each composing its own timer policy or batching mix, host jitter, and
+// outgoing link — observed end to end by an adversary who taps both the
+// route's entry and its exit (System.NewCascade,
+// System.RunCascadeCorrelation).
+type (
+	// CascadeSpec describes a multi-hop route topology: per-hop padding
+	// stages plus the concurrent end-to-end flows.
+	CascadeSpec = core.CascadeSpec
+	// CascadeHop describes one padded hop of a route.
+	CascadeHop = core.CascadeHop
+	// CascadePolicy selects a hop's padding stage (CIT, VIT or mix).
+	CascadePolicy = core.CascadePolicy
+	// CascadeEngine is the instantiated route engine
+	// (System.NewCascade), handing out per-flow route observations.
+	CascadeEngine = cascade.Engine
+	// CascadeCorrConfig parameterizes the end-to-end correlation attack.
+	CascadeCorrConfig = core.CascadeCorrConfig
+	// CascadeResult reports the end-to-end attack: matching accuracy,
+	// exit class accuracy, degree of anonymity, and the per-hop
+	// matched-overhead accounting.
+	CascadeResult = cascade.Result
+)
+
+// Cascade hop policies.
+const (
+	CascadeCIT = core.CascadeCIT
+	CascadeVIT = core.CascadeVIT
+	CascadeMix = core.CascadeMix
 )
 
 // Experiment tables (see internal/experiment).
