@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-compare staticcheck \
-	golden golden-check ci clean
+	docs golden golden-check ci clean
 
 all: vet build test
 
@@ -31,15 +31,22 @@ bench-compare:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
 
+# Documentation gate: offline markdown link check (every relative link
+# and #anchor in the core documents must resolve; cmd/docscheck) plus
+# go vet's doc diagnostics over the tree.
+docs:
+	$(GO) run ./cmd/docscheck README.md DESIGN.md PAPER.md CHANGES.md
+	$(GO) vet ./...
+
 # The golden determinism gate: one small-scale experiment per observation
-# protocol (replica, session, population, cascade), committed as text
-# tables. golden-check regenerates them into a scratch directory and
+# protocol (replica, session, population, cascade, active), committed as
+# text tables. golden-check regenerates them into a scratch directory and
 # byte-diffs against the committed copies — the mechanical version of the
 # "prior tables byte-identical" check every PR used to run by hand.
 # After an *intentional* table change, run `make golden` and commit.
 GOLDEN_SCALE = 0.05
 GOLDEN_SEED = 3
-GOLDEN_EXPS = fig4b ext-online ext-disclosure ext-cascade
+GOLDEN_EXPS = fig4b ext-online ext-disclosure ext-cascade ext-active
 
 golden:
 	@for e in $(GOLDEN_EXPS); do \
@@ -56,7 +63,7 @@ golden-check:
 	rm -rf $$tmp; echo "golden tables byte-identical"
 
 # Everything the CI workflow runs, reproducible locally in one command.
-ci: vet build test race staticcheck golden-check
+ci: vet build test race staticcheck docs golden-check
 
 clean:
 	rm -f linkpad.test

@@ -281,3 +281,22 @@ func BenchmarkAblationHopPolicies(b *testing.B) {
 		"class_acc_mixcit": {"class_acc", "last"},
 	})
 }
+
+// BenchmarkExtActive measures the active chaff watermark across padding
+// policies at matched overhead (unpadded anchor through the two-hop
+// cascade).
+func BenchmarkExtActive(b *testing.B) {
+	runFigure(b, "ext-active", map[string][2]string{
+		"det_none_amp10": {"det_rate", "first"},
+		"det_casc_amp40": {"det_rate", "last"},
+	})
+}
+
+// BenchmarkAblationWatermarkDefenses measures both watermark mechanisms
+// against two-hop routes at equal bandwidth.
+func BenchmarkAblationWatermarkDefenses(b *testing.B) {
+	runFigure(b, "ablation-watermark-defenses", map[string][2]string{
+		"chaff_det_cit":    {"det_rate", "first"},
+		"delay_det_mixcit": {"det_rate", "last"},
+	})
+}

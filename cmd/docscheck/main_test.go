@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Determinism model":          "determinism-model",
+		"CI gates":                   "ci-gates",
+		"The paper in one paragraph": "the-paper-in-one-paragraph",
+		"Section / claim map":        "section--claim-map",
+		"make docs, `go vet`":        "make-docs-go-vet",
+	} {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckTarget(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.md")
+	other := filepath.Join(dir, "other.md")
+	if err := os.WriteFile(doc, []byte("# Title\n## A Section\nbody\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, []byte("# Other Doc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for target, ok := range map[string]bool{
+		"other.md":            true,
+		"other.md#other-doc":  true,
+		"#a-section":          true,
+		"https://example.com": true,
+		"missing.md":          false,
+		"other.md#nope":       false,
+		"#missing-heading":    false,
+	} {
+		problem := checkTarget(doc, target)
+		if ok && problem != "" {
+			t.Errorf("checkTarget(%q) = %q, want ok", target, problem)
+		}
+		if !ok && problem == "" {
+			t.Errorf("checkTarget(%q) passed, want a problem", target)
+		}
+	}
+}
+
+func TestRunOnRepoDocs(t *testing.T) {
+	// The real repository documents must pass their own gate.
+	root := "../.."
+	var files []string
+	for _, f := range []string{"README.md", "DESIGN.md", "PAPER.md", "CHANGES.md"} {
+		files = append(files, filepath.Join(root, f))
+	}
+	if code := run(files); code != 0 {
+		t.Fatalf("docscheck failed on the repository docs (exit %d)", code)
+	}
+}

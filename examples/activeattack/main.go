@@ -1,0 +1,84 @@
+// Activeattack demonstrates the active-adversary engine end to end: an
+// attacker with a vantage point on the payload side of the padded link
+// injects a keyed chaff watermark — attacker-minted packets in a secret
+// on/off pattern — into sixteen flows and runs a matched-filter
+// detector at the exit tap, trying to recognize each flow's key through
+// the countermeasure. An unpadded link forwards the rate pattern
+// outright; a CIT timer flattens the wire rate but still leaks the
+// pattern through its blocking jitter; and a second re-padding hop
+// destroys the watermark, because the inner timer only ever sees the
+// entry hop's constant rate.
+//
+// Run with: go run ./examples/activeattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpad"
+)
+
+func main() {
+	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	features := []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy}
+
+	// Part 1: the chaff watermark vs the countermeasure tiers. Amplitude
+	// is the in-slot chaff rate; the attacker's long-run cost is about
+	// half that (the key's duty cycle).
+	fmt.Println("chaff watermark (20 pps in marked slots) vs countermeasure: 16 flows, 45 s per flow")
+	for _, tier := range []struct {
+		name string
+		spec linkpad.ActiveSpec
+	}{
+		{"unpadded", linkpad.ActiveSpec{Raw: true}},
+		{"CIT timer", linkpad.ActiveSpec{}},
+		{"2xCIT cascade", linkpad.ActiveSpec{
+			Protocol: linkpad.ActiveCascade,
+			Hops:     []linkpad.CascadeHop{{}, {}},
+		}},
+	} {
+		spec := tier.spec
+		spec.Flows = 16
+		spec.Mode = linkpad.WatermarkChaff
+		spec.Amplitude = 20
+		res, err := sys.RunActiveDetection(spec, linkpad.ActiveDetectConfig{
+			Duration: 45,
+			Features: features,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-13s: %3.0f%% of keys detected (mean z %4.1f), %3.0f%% of flows matched, anonymity %.2f, attacker pays %4.1f pps, defense %3.0f pps\n",
+			tier.name, 100*res.DetectionRate, res.MeanZ, 100*res.MatchAccuracy,
+			res.DegreeOfAnonymity, res.InjectedPPS, res.RoutePPS)
+	}
+
+	// Part 2: the delay-jitter watermark dies at the first re-timing hop:
+	// the timer re-schedules every departure, so a 100 ms imprint on the
+	// payload arrivals never reaches the exit wire.
+	fmt.Println("delay watermark (100 ms on marked-slot payload): injection costs latency, not packets")
+	for _, tier := range []struct {
+		name string
+		raw  bool
+	}{
+		{"unpadded", true},
+		{"CIT timer", false},
+	} {
+		res, err := sys.RunActiveDetection(linkpad.ActiveSpec{
+			Flows:     16,
+			Mode:      linkpad.WatermarkDelay,
+			Amplitude: 0.1,
+			Raw:       tier.raw,
+		}, linkpad.ActiveDetectConfig{Duration: 45, Features: features})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s: %3.0f%% of keys detected, mean added delay %2.0f ms\n",
+			tier.name, 100*res.DetectionRate, 1e3*res.MeanAddedDelay)
+	}
+	fmt.Println("re-timing is the active countermeasure: every padded hop between the taps resets the attacker's clock")
+}

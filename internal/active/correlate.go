@@ -1,0 +1,515 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"linkpad/internal/adversary"
+	"linkpad/internal/bayes"
+	"linkpad/internal/cascade"
+	"linkpad/internal/par"
+)
+
+// Matched-filter detection (correlate.go): the adversary reduces each
+// exit stream to three per-slot channels and correlates every channel
+// against candidate keys' chip sequences:
+//
+//   - count: packets per slot — the rate channel. Chaff survives here
+//     whenever the countermeasure forwards rate fluctuations (unpadded
+//     links, batching mixes); timer padding flattens it.
+//   - variance: PIAT sample variance per slot — the paper's blocking
+//     channel weaponized. Timer gateways emit at a constant rate, but
+//     marked-slot arrivals (chaff, or pile-ups behind a delay watermark)
+//     inflate the compound blocking jitter, so the PIATs of marked slots
+//     are measurably noisier.
+//   - centroid: mean in-slot position of packet times — the
+//     interval-centroid channel of delay watermarking. A constant delay
+//     shifts marked-slot packets late within their slot; timer padding
+//     erases it because departures sit on the timer grid.
+//
+// Each channel's Pearson correlation is calibrated into a z-score
+// against the engine's decoy keys evaluated on the same exit flow, so
+// the detector normalizes per-flow, per-channel noise (whatever the
+// countermeasure made of it) without hand-tuned thresholds; a flow's
+// score is the best channel's z. The flow's own key detects the
+// watermark (z ≥ threshold); the full key × exit score matrix yields
+// greedy flow matching and the degree of anonymity, exactly as in the
+// passive correlation attacks.
+
+// Config parameterizes the matched-filter detection pass.
+type Config struct {
+	// Duration is the observation time in stream seconds past each
+	// flow's Start (required); the matched filter uses
+	// floor(Duration/period) whole slots.
+	Duration float64
+	// Threshold is the detection z-score (0 = 3: a ~0.1% false-positive
+	// rate against the decoy-calibrated null).
+	Threshold float64
+	// FeatureWindow is the PIAT count reduced to one feature value per
+	// flow for the class posteriors (0 = 200); it must match the window
+	// the classifiers were trained at.
+	FeatureWindow int
+	// Classifiers holds one per-feature class classifier (naive-Bayes
+	// combined); may be empty to skip the class-posterior stage.
+	// Extractors must parallel it.
+	Classifiers []*bayes.Classifier
+	// Extractors are the feature extractors matching Classifiers.
+	Extractors []adversary.Extractor
+	// Workers bounds the per-flow simulation parallelism; results are
+	// identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.FeatureWindow == 0 {
+		c.FeatureWindow = 200
+	}
+	return c
+}
+
+// Result reports one active-adversary detection run.
+type Result struct {
+	// Flows, Hops and Mode echo the engine.
+	Flows int
+	Hops  int
+	Mode  string
+	// Slots is the number of matched-filter slots per flow.
+	Slots int
+	// DetectionRate is the fraction of flows whose own watermark key
+	// scored z ≥ threshold at that flow's exit.
+	DetectionRate float64
+	// MeanZ averages the own-key z-score over flows — the raw strength
+	// of the watermark surviving the countermeasure.
+	MeanZ float64
+	// ZTrue is each flow's own-key z-score, in flow order.
+	ZTrue []float64
+	// MatchAccuracy is the fraction of exit flows the greedy matching
+	// assigned to their true key.
+	MatchAccuracy float64
+	// MeanRank averages the rank (1 = best) of the true key in each exit
+	// flow's score ordering.
+	MeanRank float64
+	// DegreeOfAnonymity averages the normalized entropy of the per-flow
+	// match posterior (softmax over each exit flow's z column): 1 means
+	// the watermark tells the adversary nothing, 0 means identified.
+	DegreeOfAnonymity float64
+	// ClassAccuracy is the fraction of flows whose rate class the exit
+	// PIAT features identified (0 when no classifiers were supplied).
+	ClassAccuracy float64
+	// InjectedPPS is the attacker's mean chaff rate per flow in
+	// packets/second (0 in delay mode).
+	InjectedPPS float64
+	// MeanAddedDelay is the mean injected delay per payload packet in
+	// seconds (0 in chaff mode).
+	MeanAddedDelay float64
+	// HopPPS is each hop's mean emitted packet rate per flow, entry hop
+	// first; HopDummyFrac is each hop's dummy fraction.
+	HopPPS       []float64
+	HopDummyFrac []float64
+	// RoutePPS sums HopPPS — the defense's bandwidth per flow. For
+	// unpadded flows it is the exit stream's observed rate.
+	RoutePPS float64
+	// DummyFrac is the whole route's dummy fraction.
+	DummyFrac float64
+}
+
+// channels is the number of matched-filter channels (count, variance,
+// centroid).
+const channels = 3
+
+// flowObs is the reduced observation of one flow: per-slot channel
+// vectors plus the bookkeeping the sequential reduction needs.
+type flowObs struct {
+	class     int
+	key       *Key
+	k0        int       // first whole slot of the observation window
+	start     float64   // absolute start of the observation window
+	end       float64   // absolute end of the observation window
+	stats     []float64 // [channels][slots] flattened
+	logPost   []float64 // class log posteriors (clamped); nil without classifiers
+	hops      []cascade.HopStats
+	inject    InjectStats
+	exitCount int
+}
+
+// channel returns the obs's per-slot vector for channel ch.
+func (o *flowObs) channel(ch, slots int) []float64 {
+	return o.stats[ch*slots : (ch+1)*slots]
+}
+
+// Detect runs the matched-filter attack end to end: simulate every
+// watermarked flow (in parallel, flows as the unit of parallelism),
+// reduce each exit to its per-slot channels, calibrate against the
+// decoy keys, score every (key, exit) pair, and account the injection
+// and padding overhead. Exit flow f's true key is flow f's key; the
+// adversary's scores never read that identity, only the observations.
+func Detect(e *Engine, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if e == nil {
+		return nil, errors.New("active: nil engine")
+	}
+	if !(cfg.Duration > 0) {
+		return nil, errors.New("active: observation duration must be positive")
+	}
+	if len(cfg.Classifiers) != len(cfg.Extractors) {
+		return nil, errors.New("active: classifiers and extractors must parallel each other")
+	}
+	if cfg.FeatureWindow < 2 {
+		return nil, errors.New("active: feature window must be at least 2")
+	}
+	if !(cfg.Threshold > 0) {
+		return nil, errors.New("active: detection threshold must be positive")
+	}
+	slots := int(cfg.Duration/e.period + 1e-9)
+	if slots < 8 {
+		return nil, errors.New("active: need at least eight whole slots over the duration")
+	}
+
+	flows := e.flows
+	obs := make([]flowObs, flows)
+	workers := par.Workers(cfg.Workers)
+	if workers > flows {
+		workers = flows
+	}
+	pipes := make([]*adversary.MultiPipeline, workers)
+	outs := make([][]float64, workers)
+	exits := make([][]float64, workers) // reusable per-worker exit-time slabs
+	piats := make([][]float64, workers)
+	lps := make([][]float64, workers)
+	for i := range pipes {
+		if len(cfg.Extractors) > 0 {
+			mp, err := adversary.NewMultiPipeline(cfg.Extractors)
+			if err != nil {
+				return nil, err
+			}
+			pipes[i] = mp
+			outs[i] = make([]float64, len(cfg.Extractors))
+		}
+	}
+	err := par.MapWorker(flows, workers, func(worker, f int) error {
+		flow, err := e.Flow(f)
+		if err != nil {
+			return fmt.Errorf("active: flow %d: %w", f, err)
+		}
+		o := &obs[f]
+		o.class = flow.Class
+		o.key = flow.Key
+		if flow.Start > 0 {
+			o.k0 = int(flow.Start/e.period) + 1
+		}
+		start := float64(o.k0) * e.period
+		o.start = start
+		o.end = start + float64(slots)*e.period
+		// Pull the exit stream through the whole chain into the worker's
+		// reusable slab, dropping the partial-slot head after a warm-up.
+		buf := exits[worker][:0]
+		for {
+			t := flow.Exit.Next()
+			if t > o.end {
+				break
+			}
+			if t <= start {
+				continue
+			}
+			buf = append(buf, t)
+		}
+		exits[worker] = buf
+		o.exitCount = len(buf)
+		o.stats = make([]float64, channels*slots)
+		slotStats(buf, start, e.period, slots,
+			o.channel(0, slots), o.channel(1, slots), o.channel(2, slots))
+		if flow.Inject != nil {
+			o.inject = flow.Inject()
+		}
+		o.hops = make([]cascade.HopStats, len(flow.Hops))
+		for h, probe := range flow.Hops {
+			o.hops[h] = probe()
+		}
+		if len(cfg.Classifiers) == 0 {
+			return nil
+		}
+		// Reduce the exit flow's first FeatureWindow PIATs to one value
+		// per feature, then to clamped class log posteriors.
+		if len(buf) < cfg.FeatureWindow+1 {
+			return fmt.Errorf("active: flow %d has %d exit packets, need %d for the feature window",
+				f, len(buf), cfg.FeatureWindow+1)
+		}
+		pb := piats[worker]
+		if cap(pb) < cfg.FeatureWindow {
+			pb = make([]float64, cfg.FeatureWindow)
+		}
+		pb = pb[:cfg.FeatureWindow]
+		for i := range pb {
+			pb[i] = buf[i+1] - buf[i]
+		}
+		piats[worker] = pb
+		if err := pipes[worker].ExtractFrom(adversary.NewReplay(pb), cfg.FeatureWindow, outs[worker]); err != nil {
+			return err
+		}
+		o.logPost = make([]float64, cfg.Classifiers[0].NumClasses())
+		for fi, cls := range cfg.Classifiers {
+			lp := cls.LogPosteriorsInto(outs[worker][fi], lps[worker])
+			lps[worker] = lp
+			adversary.AddClampedLogPosts(o.logPost, lp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequential scoring in flow order: per exit flow, calibrate each
+	// channel's null against the decoys, then z-score every candidate
+	// key's best channel.
+	chipVec := make([]float64, slots)
+	decoyR := make([]float64, len(e.decoys))
+	score := make([]float64, flows*flows)
+	var mu, sigma [channels]float64
+	for f := 0; f < flows; f++ {
+		o := &obs[f]
+		for ch := 0; ch < channels; ch++ {
+			stat := o.channel(ch, slots)
+			for d, dk := range e.decoys {
+				fillChips(chipVec, dk, o.k0)
+				r, err := adversary.Pearson(chipVec, stat)
+				if err != nil {
+					return nil, err
+				}
+				decoyR[d] = r
+			}
+			mu[ch], sigma[ch] = meanStd(decoyR)
+		}
+		for u := 0; u < flows; u++ {
+			fillChips(chipVec, obs[u].key, o.k0)
+			best := 0.0
+			for ch := 0; ch < channels; ch++ {
+				if sigma[ch] < 1e-9 {
+					continue // degenerate channel: no information
+				}
+				r, err := adversary.Pearson(chipVec, o.channel(ch, slots))
+				if err != nil {
+					return nil, err
+				}
+				if z := (r - mu[ch]) / sigma[ch]; z > best {
+					best = z
+				}
+			}
+			score[u*flows+f] = best
+		}
+	}
+	assignedF, err := adversary.GreedyMatch(score, flows)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Flows: flows, Hops: e.hops, Mode: e.mode.String(), Slots: slots,
+		ZTrue: make([]float64, flows)}
+	detected, correct, classCorrect := 0, 0, 0
+	var zSum, rankSum, anonSum float64
+	post := make([]float64, flows)
+	for f := 0; f < flows; f++ {
+		z := score[f*flows+f]
+		res.ZTrue[f] = z
+		zSum += z
+		if z >= cfg.Threshold {
+			detected++
+		}
+		if assignedF[f] == f {
+			correct++
+		}
+		rankSum += float64(adversary.TrueRank(score, flows, f))
+		anonSum += columnAnonymity(score, flows, f, post)
+		if obs[f].logPost != nil {
+			best, bestV := 0, obs[f].logPost[0]
+			for c := 1; c < len(obs[f].logPost); c++ {
+				if obs[f].logPost[c] > bestV {
+					best, bestV = c, obs[f].logPost[c]
+				}
+			}
+			if best == obs[f].class {
+				classCorrect++
+			}
+		}
+	}
+	n := float64(flows)
+	res.DetectionRate = float64(detected) / n
+	res.MeanZ = zSum / n
+	res.MatchAccuracy = float64(correct) / n
+	res.MeanRank = rankSum / n
+	res.DegreeOfAnonymity = anonSum / n
+	if len(cfg.Classifiers) > 0 {
+		res.ClassAccuracy = float64(classCorrect) / n
+	}
+	reduceOverhead(res, obs, e.hops)
+	return res, nil
+}
+
+// reduceOverhead accounts the injection cost and the defense's bandwidth
+// in flow order, mirroring the cascade accounting. Hop and injection
+// counters cover each flow's whole timeline [0, end] (warm-up included),
+// so rates divide by the end time, not the observation duration.
+func reduceOverhead(res *Result, obs []flowObs, hops int) {
+	var endSum, chaffSum, delaySum, payloadSum float64
+	for f := range obs {
+		endSum += obs[f].end
+		chaffSum += float64(obs[f].inject.Chaff)
+		delaySum += obs[f].inject.DelaySum
+		payloadSum += float64(obs[f].inject.Payload)
+	}
+	if endSum > 0 {
+		res.InjectedPPS = chaffSum / endSum
+	}
+	if payloadSum > 0 {
+		res.MeanAddedDelay = delaySum / payloadSum
+	}
+	if hops > 0 {
+		res.HopPPS = make([]float64, hops)
+		res.HopDummyFrac = make([]float64, hops)
+		var emittedAll, dummiesAll float64
+		for h := 0; h < hops; h++ {
+			var emitted, dummies float64
+			for f := range obs {
+				emitted += float64(obs[f].hops[h].Emitted)
+				dummies += float64(obs[f].hops[h].Dummies)
+			}
+			res.HopPPS[h] = emitted / endSum
+			if emitted > 0 {
+				res.HopDummyFrac[h] = dummies / emitted
+			}
+			res.RoutePPS += res.HopPPS[h]
+			emittedAll += emitted
+			dummiesAll += dummies
+		}
+		if emittedAll > 0 {
+			res.DummyFrac = dummiesAll / emittedAll
+		}
+	} else {
+		// Unpadded flows: the exit counts cover only the observed window
+		// (start, end] — warm-up packets of a session scenario were
+		// discarded — so the rate averages over the window, not the
+		// whole timeline.
+		var exitAll, obsSum float64
+		for f := range obs {
+			exitAll += float64(obs[f].exitCount)
+			obsSum += obs[f].end - obs[f].start
+		}
+		if obsSum > 0 {
+			res.RoutePPS = exitAll / obsSum
+		}
+	}
+}
+
+// slotStats reduces an ascending timestamp slice to the three matched-
+// filter channels over `slots` consecutive windows of width period
+// starting at start. counts, vars and cents must each have length slots
+// and are overwritten.
+func slotStats(times []float64, start, period float64, slots int, counts, vars, cents []float64) {
+	for i := 0; i < slots; i++ {
+		counts[i], vars[i], cents[i] = 0, 0, 0
+	}
+	cur := -1
+	var prev float64
+	var m moments // PIAT moments of the current slot
+	flush := func() {
+		if cur >= 0 {
+			vars[cur] = m.variance()
+			if counts[cur] > 0 {
+				cents[cur] /= counts[cur]
+			}
+		}
+	}
+	for _, t := range times {
+		s := int((t - start) / period)
+		if s < 0 || s >= slots {
+			continue
+		}
+		if s != cur {
+			flush()
+			cur = s
+			m = moments{}
+		} else {
+			m.add(t - prev)
+		}
+		prev = t
+		counts[s]++
+		cents[s] += (t-start)/period - float64(s) - 0.5
+	}
+	flush()
+}
+
+// moments is a minimal Welford accumulator for per-slot PIAT variance
+// (kept local so the hot loop stays allocation-free and inlinable).
+type moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (m *moments) add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+func (m *moments) variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// fillChips writes key's chip sequence for slots k0..k0+len(dst)-1.
+func fillChips(dst []float64, key *Key, k0 int) {
+	for j := range dst {
+		dst[j] = key.Chip(k0 + j)
+	}
+}
+
+// meanStd returns the sample mean and standard deviation of xs.
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var s2 float64
+	for _, x := range xs {
+		d := x - mean
+		s2 += d * d
+	}
+	if len(xs) > 1 {
+		std = math.Sqrt(s2 / (n - 1))
+	}
+	return mean, std
+}
+
+// columnAnonymity returns the normalized entropy of the softmax over
+// exit flow f's score column — the degree of anonymity of that flow's
+// match posterior. tmp must have length n.
+func columnAnonymity(score []float64, n, f int, tmp []float64) float64 {
+	max := math.Inf(-1)
+	for u := 0; u < n; u++ {
+		if s := score[u*n+f]; s > max {
+			max = s
+		}
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		tmp[u] = math.Exp(score[u*n+f] - max)
+		sum += tmp[u]
+	}
+	var h float64
+	for u := 0; u < n; u++ {
+		p := tmp[u] / sum
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(n))
+}

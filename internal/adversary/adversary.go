@@ -5,6 +5,18 @@
 // feature densities off-line with Gaussian KDE, and classifies run-time
 // samples with the Bayes rule. Detection rates are estimated by Monte
 // Carlo over fresh evaluation windows.
+//
+// Determinism contract: extractors are pure reductions — all randomness
+// lives in the PIAT sources the caller supplies — and the parallel
+// training/evaluation helpers (FeatureMatrix, SessionFeatureMatrix)
+// assign each window or session its own pre-seeded source, so matrices
+// are byte-identical at any worker count.
+//
+// Allocation discipline: the hot path is allocation-free in steady
+// state. MultiPipeline reduces one simulated window through every
+// extractor in a single streaming pass (Welford moments, a reusable
+// dense histogram, quickselect quantiles), and Evaluate reuses
+// per-worker window buffers across trials.
 package adversary
 
 import (

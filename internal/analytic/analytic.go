@@ -12,6 +12,11 @@
 // variance ratio r — which satisfies every property the paper states
 // (independent of n, v(1) = 0.5, increasing in r). The printed form is
 // kept as DetectionRateMeanPaper for reference.
+//
+// Everything here is a pure function of its arguments — no randomness,
+// no package state — evaluated with internal/dist's deterministic
+// quadrature and root bracketing, so theory curves are reproducible to
+// the last bit and safe to call from any number of workers.
 package analytic
 
 import (

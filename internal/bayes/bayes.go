@@ -4,6 +4,17 @@
 // training (Gaussian KDE or parametric Gaussian fit) and a-priori class
 // probabilities. It also evaluates the Bayes error/detection-rate
 // integrals (paper eqs. 5-7) numerically.
+//
+// Determinism contract: training and classification are pure functions
+// of their inputs (ties in the arg-max break toward the lower class
+// index; entropy terms sum in class order), so classifiers trained from
+// the same corpus produce byte-identical decisions everywhere.
+//
+// Allocation discipline: the batch entry points (ClassifyBatch,
+// PosteriorsBatch, LogPosteriorsInto) score whole evaluation sets
+// against precomputed per-class density grids with log-sum-exp
+// normalization, writing into caller-owned rows — the evaluation hot
+// loop allocates nothing.
 package bayes
 
 import (

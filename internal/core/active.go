@@ -1,0 +1,419 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"linkpad/internal/active"
+	"linkpad/internal/adversary"
+	"linkpad/internal/analytic"
+	"linkpad/internal/cascade"
+	"linkpad/internal/netem"
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// Active-adversary entry points: a System description plus an ActiveSpec
+// instantiate the watermark engine (internal/active) against any of the
+// four observation protocols — the adversary injects a keyed
+// perturbation into each flow's payload *before* the countermeasure and
+// tries to recognize the key again at the exit tap. Every flow's key,
+// chaff stream and chain element derive from (seed, class, flowID, role)
+// streams in the active stream domain (domains.go), so watermarked flows
+// never share randomness with the passive protocols or with each other,
+// and results are byte-identical at any worker count.
+
+// ActiveProtocol selects which observation protocol the watermarked
+// flows cross — the scenario axis of the active study. The same flow
+// index under two protocols is a different realization (the protocol is
+// part of the stream ID), so scenarios never share randomness.
+type ActiveProtocol int
+
+// Supported active scenarios.
+const (
+	// ActiveReplica crosses the system's single padded link from a cold
+	// start, the replica-protocol analogue (default).
+	ActiveReplica ActiveProtocol = iota
+	// ActiveSession crosses the same link but observes it in steady
+	// state: a warm-up span of the continuous stream is discarded before
+	// the matched filter starts, the session-protocol analogue.
+	ActiveSession
+	// ActivePopulation merges defensive cover traffic into each flow
+	// before the padding, the population-protocol analogue (the cover is
+	// minted gateway-side, past the attacker's vantage point, so it is
+	// never watermarked).
+	ActivePopulation
+	// ActiveCascade routes each flow through a chain of re-padding hops
+	// (CascadeHop), the cascade-protocol analogue.
+	ActiveCascade
+)
+
+// String names the protocol.
+func (p ActiveProtocol) String() string {
+	switch p {
+	case ActiveReplica:
+		return "replica"
+	case ActiveSession:
+		return "session"
+	case ActivePopulation:
+		return "population"
+	case ActiveCascade:
+		return "cascade"
+	default:
+		return "unknown"
+	}
+}
+
+// ActiveSpec describes an active-adversary scenario layered on the
+// system: who is watermarked (Flows, ClassMix), how (Mode, Amplitude,
+// chip geometry), and what the flows cross (Protocol plus its knobs).
+type ActiveSpec struct {
+	// Protocol selects the observation protocol the flows cross.
+	Protocol ActiveProtocol
+	// Flows is the number of concurrent watermarked flows (at least 2).
+	Flows int
+	// Mode selects the injection mechanism: delay-jitter watermarks
+	// (active.ModeDelay) or chaff probes (active.ModeChaff).
+	Mode active.Mode
+	// Amplitude is the watermark strength: the constant delay in seconds
+	// for ModeDelay, the in-slot chaff rate in packets/second for
+	// ModeChaff. Required positive.
+	Amplitude float64
+	// Chips is the key length in chips (0 = 32).
+	Chips int
+	// Period is the chip slot duration in seconds (0 = 0.5).
+	Period float64
+	// Decoys is the number of decoy keys calibrating the detector's
+	// per-flow noise floor (0 = 16; at least 8).
+	Decoys int
+	// Raw bypasses the padding — the unpadded anchor. The flow still
+	// crosses the network path and the tap, so comparisons isolate the
+	// countermeasure alone. Not valid for ActiveCascade (an unpadded
+	// route is the Raw replica scenario).
+	Raw bool
+	// CoverRate adds defensive cover at CoverRate × the flow's payload
+	// rate (ActivePopulation only; mutually exclusive with CoverToPPS).
+	CoverRate float64
+	// CoverToPPS instead pads the flow's send rate up to an absolute
+	// target, the matched-overhead form (ActivePopulation only).
+	CoverToPPS float64
+	// WarmupTime is the stream span in seconds discarded before the
+	// matched filter starts (ActiveSession only; 0 = 2 s).
+	WarmupTime float64
+	// Hops is the route crossed by every flow (ActiveCascade only; at
+	// least one hop).
+	Hops []CascadeHop
+	// ClassMix weighs the system's rate classes across the flows
+	// (len(Rates) entries, positive); nil means equal shares. Flows are
+	// striped deterministically, like population users.
+	ClassMix []float64
+}
+
+// withDefaults fills zero fields.
+func (a ActiveSpec) withDefaults() ActiveSpec {
+	if a.Chips == 0 {
+		a.Chips = 32
+	}
+	if a.Period == 0 {
+		a.Period = 0.5
+	}
+	if a.Decoys == 0 {
+		a.Decoys = 16
+	}
+	if a.Protocol == ActiveSession && a.WarmupTime == 0 {
+		a.WarmupTime = 2
+	}
+	return a
+}
+
+// validateActive checks the spec against the system. Call on a
+// defaults-resolved spec.
+func (s *System) validateActive(spec ActiveSpec) error {
+	if spec.Flows < 2 {
+		return errors.New("core: active scenario needs at least two flows")
+	}
+	if spec.Mode != active.ModeDelay && spec.Mode != active.ModeChaff {
+		return errors.New("core: unknown watermark mode")
+	}
+	if !(spec.Amplitude > 0) {
+		return errors.New("core: watermark amplitude must be positive")
+	}
+	if spec.Chips < 2 || !(spec.Period > 0) {
+		return errors.New("core: invalid watermark chip geometry")
+	}
+	if spec.Decoys < 8 {
+		return errors.New("core: need at least eight decoy keys")
+	}
+	if spec.CoverRate < 0 || spec.CoverToPPS < 0 {
+		return errors.New("core: active cover rates must be non-negative")
+	}
+	if spec.CoverRate > 0 && spec.CoverToPPS > 0 {
+		return errors.New("core: CoverRate and CoverToPPS are mutually exclusive")
+	}
+	if spec.WarmupTime < 0 {
+		return errors.New("core: warm-up time must be non-negative")
+	}
+	switch spec.Protocol {
+	case ActiveReplica, ActiveSession, ActivePopulation:
+		if len(spec.Hops) > 0 {
+			return fmt.Errorf("core: Hops requires the cascade protocol, not %v", spec.Protocol)
+		}
+		if spec.Protocol != ActivePopulation && (spec.CoverRate > 0 || spec.CoverToPPS > 0) {
+			return fmt.Errorf("core: cover traffic requires the population protocol, not %v", spec.Protocol)
+		}
+		if spec.Protocol != ActiveSession && spec.WarmupTime > 0 {
+			return fmt.Errorf("core: WarmupTime requires the session protocol, not %v", spec.Protocol)
+		}
+	case ActiveCascade:
+		if spec.Raw {
+			return errors.New("core: Raw is not valid for the cascade protocol (use a Raw replica scenario)")
+		}
+		if len(spec.Hops) == 0 {
+			return errors.New("core: cascade protocol needs at least one hop")
+		}
+		if spec.CoverRate > 0 || spec.CoverToPPS > 0 || spec.WarmupTime > 0 {
+			return errors.New("core: cover and warm-up knobs are not valid for the cascade protocol")
+		}
+		if err := s.validateHops(spec.Hops); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown active protocol %d", spec.Protocol)
+	}
+	return s.validateClassMix(spec.ClassMix)
+}
+
+// coverPPS returns the defensive cover rate for a payload rate.
+func (a ActiveSpec) coverPPS(payload float64) float64 {
+	if a.CoverToPPS > 0 {
+		if c := a.CoverToPPS - payload; c > 0 {
+			return c
+		}
+		return 0
+	}
+	return a.CoverRate * payload
+}
+
+// paddedHops returns the number of padded elements a flow crosses — the
+// length of the overhead probe vector.
+func (a ActiveSpec) paddedHops() int {
+	if a.Protocol == ActiveCascade {
+		return len(a.Hops)
+	}
+	if a.Raw {
+		return 0
+	}
+	return 1
+}
+
+// activeRand opens the role stream of (class, flow, hop) under the
+// spec's protocol.
+func (s *System) activeRand(proto ActiveProtocol, class, flow, hop int, role uint64) *xrand.Rand {
+	return xrand.New(s.streamSeed(class, activeStreamID(proto, flow, hop, role)))
+}
+
+// activeFlow assembles one flow of the scenario: the class payload
+// source, the watermark injection (skipped for phantom training flows),
+// the protocol's defense chain, and the exit observation chain. All
+// randomness derives from (seed, class, flow, role) streams, so a flow
+// is a pure function of its identity. Call on a defaults-resolved spec.
+func (s *System) activeFlow(spec ActiveSpec, class, flow int, watermarked bool) (*active.Flow, error) {
+	payload, err := s.payloadSource(class, s.activeRand(spec.Protocol, class, flow, 0, activeRolePayload))
+	if err != nil {
+		return nil, err
+	}
+	fl := &active.Flow{Class: class}
+	var src traffic.Source = payload
+	if watermarked {
+		key, err := active.NewKey(spec.Chips, spec.Period,
+			s.activeRand(spec.Protocol, class, flow, 0, activeRoleKey))
+		if err != nil {
+			return nil, err
+		}
+		fl.Key = key
+		switch spec.Mode {
+		case active.ModeDelay:
+			ds, err := active.NewDelaySource(src, key, spec.Amplitude)
+			if err != nil {
+				return nil, err
+			}
+			src = ds
+			fl.Inject = ds.Stats
+		default: // active.ModeChaff, enforced by validateActive
+			chaff, err := active.NewChaffSource(key, spec.Amplitude,
+				s.activeRand(spec.Protocol, class, flow, 0, activeRoleChaff))
+			if err != nil {
+				return nil, err
+			}
+			src, err = traffic.NewSuperpose(src, chaff)
+			if err != nil {
+				return nil, err
+			}
+			fl.Inject = chaff.Stats
+		}
+	}
+	switch spec.Protocol {
+	case ActiveCascade:
+		stream, probes, err := s.hopChain(spec.Hops, src, func(h int) *xrand.Rand {
+			return s.activeRand(spec.Protocol, class, flow, h, activeRoleHop)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		exit, err := s.observationChain(stream,
+			s.activeRand(spec.Protocol, class, flow, len(spec.Hops), activeRoleExit))
+		if err != nil {
+			return nil, err
+		}
+		fl.Exit = exit
+		fl.Hops = probes
+	default:
+		if c := spec.coverPPS(s.cfg.Rates[class].PPS); c > 0 {
+			// The defense mints cover past the attacker's vantage point,
+			// so cover packets never carry the watermark.
+			cover, err := traffic.NewPoisson(c,
+				s.activeRand(spec.Protocol, class, flow, 0, activeRoleCover))
+			if err != nil {
+				return nil, err
+			}
+			src, err = traffic.NewSuperpose(src, cover)
+			if err != nil {
+				return nil, err
+			}
+		}
+		stream, probe, err := s.padStream(src, spec.Raw,
+			s.activeRand(spec.Protocol, class, flow, 0, activeRoleLink), nil)
+		if err != nil {
+			return nil, err
+		}
+		fl.Exit = stream
+		if probe != nil {
+			fl.Hops = []cascade.HopProbe{probe}
+		}
+		fl.Start = spec.WarmupTime
+	}
+	return fl, nil
+}
+
+// NewActive instantiates the watermark engine: Flows watermarked flows
+// crossing the spec's protocol, with rate classes striped across the
+// flows by ClassMix, plus the adversary's decoy keys. Every flow derives
+// from (seed, class, flowID) role streams in the active domain.
+func (s *System) NewActive(spec ActiveSpec) (*active.Engine, error) {
+	spec = spec.withDefaults()
+	if err := s.validateActive(spec); err != nil {
+		return nil, err
+	}
+	decoys := make([]*active.Key, spec.Decoys)
+	for d := range decoys {
+		// Decoy keys are the adversary's own dice: class 0, flow = decoy
+		// index, in a role real flows never read.
+		key, err := active.NewKey(spec.Chips, spec.Period,
+			s.activeRand(spec.Protocol, 0, d, 0, activeRoleDecoy))
+		if err != nil {
+			return nil, err
+		}
+		decoys[d] = key
+	}
+	cum := s.classCum(spec.ClassMix)
+	build := func(flow int) (*active.Flow, error) {
+		return s.activeFlow(spec, classOf(flow, spec.Flows, cum), flow, true)
+	}
+	return active.NewEngine(spec.Flows, spec.paddedHops(), spec.Mode,
+		spec.Chips, spec.Period, decoys, build)
+}
+
+// ActiveDetectConfig parameterizes the watermark detection attack run
+// through a System: the attack-side knobs mirror active.Config, plus the
+// off-line training effort for the exit-side PIAT class classifiers.
+type ActiveDetectConfig struct {
+	// Duration is the observation time in stream seconds past each
+	// flow's warm-up (0 = 40); the matched filter uses
+	// floor(Duration/Period) whole slots.
+	Duration float64
+	// Threshold is the detection z-score (0 = 3).
+	Threshold float64
+	// Features are the PIAT statistics the exit class classifiers use;
+	// empty runs a pure watermark attack. Ignored for Raw scenarios (an
+	// unpadded flow needs no class fingerprint).
+	Features []analytic.Feature
+	// FeatureWindow is the PIAT count per feature value (0 = 200).
+	FeatureWindow int
+	// TrainWindows is the number of off-line training windows per class
+	// for the classifiers (0 = 120).
+	TrainWindows int
+	// Workers bounds the per-flow simulation parallelism; results are
+	// identical at any width. Zero means all CPUs.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c ActiveDetectConfig) withDefaults() ActiveDetectConfig {
+	if c.Duration == 0 {
+		c.Duration = 40
+	}
+	if c.FeatureWindow == 0 {
+		c.FeatureWindow = 200
+	}
+	if c.TrainWindows == 0 {
+		c.TrainWindows = 120
+	}
+	return c
+}
+
+// RunActiveDetection runs the active watermark attack end to end: the
+// adversary first trains per-class PIAT classifiers on phantom flows
+// (fresh unwatermarked realizations of the same chain, so training
+// observes cover traffic, batching and re-padding exactly as run time
+// does), then injects its watermark into every flow and runs the
+// matched-filter detection at the exit tap. Results are identical at
+// any cfg.Workers width; flows are the unit of parallelism.
+func (s *System) RunActiveDetection(spec ActiveSpec, cfg ActiveDetectConfig) (*active.Result, error) {
+	spec = spec.withDefaults()
+	if err := s.validateActive(spec); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if spec.Raw {
+		cfg.Features = nil
+	}
+	if cfg.TrainWindows < 2 {
+		return nil, errors.New("core: active detection needs at least two training windows per class")
+	}
+
+	// Off-line phase: per-class exit feature densities from phantom
+	// flows, which reuse the population protocol's phantom index block —
+	// a disjoint flow range of the active domain real flows never reach.
+	classifiers, exts, err := s.trainExitClassifiers(cfg.Features,
+		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
+		func(class, w int) (adversary.PIATSource, error) {
+			fl, err := s.activeFlow(spec, class,
+				phantomUserBase+class*cfg.TrainWindows+w, false)
+			if err != nil {
+				return nil, err
+			}
+			d := netem.NewDiffer(fl.Exit)
+			// Training windows start where run-time observation does:
+			// past the session scenario's warm-up span.
+			for fl.Start > 0 && d.Now() <= fl.Start {
+				d.Next()
+			}
+			return d, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	eng, err := s.NewActive(spec)
+	if err != nil {
+		return nil, err
+	}
+	return active.Detect(eng, active.Config{
+		Duration:      cfg.Duration,
+		Threshold:     cfg.Threshold,
+		FeatureWindow: cfg.FeatureWindow,
+		Classifiers:   classifiers,
+		Extractors:    exts,
+		Workers:       cfg.Workers,
+	})
+}

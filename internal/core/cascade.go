@@ -6,7 +6,6 @@ import (
 
 	"linkpad/internal/adversary"
 	"linkpad/internal/analytic"
-	"linkpad/internal/bayes"
 	"linkpad/internal/cascade"
 	"linkpad/internal/gateway"
 	"linkpad/internal/netem"
@@ -100,10 +99,19 @@ func (s *System) validateCascade(spec CascadeSpec) error {
 	if spec.Flows < 2 {
 		return errors.New("core: cascade needs at least two flows")
 	}
-	if len(spec.Hops) > maxCascadeHops {
-		return fmt.Errorf("core: cascade route has %d hops, limit %d", len(spec.Hops), maxCascadeHops)
+	if err := s.validateHops(spec.Hops); err != nil {
+		return err
 	}
-	for i, h := range spec.Hops {
+	return s.validateClassMix(spec.ClassMix)
+}
+
+// validateHops checks a hop chain; shared by the cascade and active
+// protocols, which build routes from the same CascadeHop description.
+func (s *System) validateHops(hops []CascadeHop) error {
+	if len(hops) > maxCascadeHops {
+		return fmt.Errorf("core: cascade route has %d hops, limit %d", len(hops), maxCascadeHops)
+	}
+	for i, h := range hops {
 		if h.Tau < 0 {
 			return fmt.Errorf("core: cascade hop %d has negative Tau", i)
 		}
@@ -141,7 +149,7 @@ func (s *System) validateCascade(spec CascadeSpec) error {
 			}
 		}
 	}
-	return s.validateClassMix(spec.ClassMix)
+	return nil
 }
 
 // hopTau resolves one hop's timer interval.
@@ -172,15 +180,44 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 	if err != nil {
 		return nil, err
 	}
+	stream, probes, err := s.hopChain(spec.Hops, payload, func(h int) *xrand.Rand {
+		return xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleHop)))
+	}, entryTap)
+	if err != nil {
+		return nil, err
+	}
+	// The system-level network path and tap imperfections form the exit
+	// observation chain, exactly as for the single padded link.
+	exitMaster := xrand.New(s.streamSeed(class,
+		cascadeStreamID(flow, len(spec.Hops), cascadeRoleExit)))
+	exit, err := s.observationChain(stream, exitMaster)
+	if err != nil {
+		return nil, err
+	}
+	return cascade.NewRoute(class, exit, rec, probes)
+}
 
+// hopChain threads an arrival process through a sequence of re-padding
+// hops: each hop composes its own timer policy (random-phased, so
+// unsynchronized per-hop clocks never sit grid-locked) or batching mix,
+// the system's host jitter model, and an optional outgoing link, with
+// the next hop consuming the previous hop's departure stream as its
+// payload. An empty hop list degenerates to the unpadded passthrough.
+// hopMaster supplies hop h's RNG, so the cascade and active protocols
+// can drive the same construction from their own stream domains;
+// entryTap, when non-nil, observes the first stage's payload arrivals.
+// It returns the last stage's departure stream and one overhead probe
+// per hop.
+func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster func(h int) *xrand.Rand, entryTap func(float64)) (netem.TimeStream, []cascade.HopProbe, error) {
 	var stream netem.TimeStream
 	var probes []cascade.HopProbe
-	if len(spec.Hops) == 0 {
+	var err error
+	if len(hops) == 0 {
 		stream = &rawLink{src: payload, tap: entryTap}
 	} else {
-		var src traffic.Source = payload
-		for h, hop := range spec.Hops {
-			master := xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleHop)))
+		src := payload
+		for h, hop := range hops {
+			master := hopMaster(h)
 			var tap func(float64)
 			if h == 0 {
 				tap = entryTap
@@ -208,7 +245,7 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 					ArrivalTap:  tap,
 				})
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				probes = append(probes, func() cascade.HopStats {
 					return cascade.HopStats{Policy: "MIX", Emitted: mix.Packets()}
@@ -222,14 +259,14 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 					policy, err = gateway.NewCIT(tau)
 				}
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				// Hops share no clock: each timer grid gets a private
 				// random phase, or consecutive equal-τ hops would sit
 				// phase-locked on each other's grid boundaries.
 				policy, err = cascade.NewPhasedPolicy(policy, master.Split())
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				gw, err := gateway.New(gateway.Config{
 					Policy:     policy,
@@ -239,7 +276,7 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 					ArrivalTap: tap,
 				})
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				name := hop.Policy.String()
 				probes = append(probes, func() cascade.HopStats {
@@ -252,26 +289,18 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 				stream, err = netem.NewFastRouter(stream, hop.Link.service(),
 					netem.DiurnalUtil(hop.Link.Util, s.cfg.StartHour), hop.Link.PropDelay, master.Split())
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
-			if h < len(spec.Hops)-1 {
+			if h < len(hops)-1 {
 				src, err = cascade.NewStreamSource(stream, outRate)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 		}
 	}
-	// The system-level network path and tap imperfections form the exit
-	// observation chain, exactly as for the single padded link.
-	exitMaster := xrand.New(s.streamSeed(class,
-		cascadeStreamID(flow, len(spec.Hops), cascadeRoleExit)))
-	exit, err := s.observationChain(stream, exitMaster)
-	if err != nil {
-		return nil, err
-	}
-	return cascade.NewRoute(class, exit, rec, probes)
+	return stream, probes, nil
 }
 
 // NewCascade instantiates the multi-hop route engine: Flows end-to-end
@@ -349,49 +378,22 @@ func (s *System) RunCascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) 
 	if cfg.TrainWindows < 2 {
 		return nil, errors.New("core: cascade correlation needs at least two training windows per class")
 	}
-	m := len(s.cfg.Rates)
 
 	// Off-line phase: per-class exit feature densities from phantom
 	// flows, which reuse the population protocol's phantom index block —
 	// a disjoint flow range of the cascade domain real flows never reach.
-	var classifiers []*bayes.Classifier
-	var exts []adversary.Extractor
-	if len(cfg.Features) > 0 {
-		exts = make([]adversary.Extractor, len(cfg.Features))
-		for i, f := range cfg.Features {
-			exts[i] = adversary.Extractor{Feature: f}
-		}
-		labels := s.Labels()
-		trainPerClass := make([][][]float64, m)
-		for c := 0; c < m; c++ {
-			class := c
-			factory := func(w int) (adversary.PIATSource, error) {
-				route, err := s.buildRoute(spec, class,
-					phantomUserBase+class*cfg.TrainWindows+w, false)
-				if err != nil {
-					return nil, err
-				}
-				return netem.NewDiffer(route.Exit), nil
-			}
-			mat, err := adversary.FeatureMatrix(factory, exts,
-				cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers)
-			if err != nil {
-				return nil, fmt.Errorf("core: training class %q: %w", labels[c], err)
-			}
-			trainPerClass[c] = mat
-		}
-		classifiers = make([]*bayes.Classifier, len(exts))
-		for fi := range exts {
-			perClass := make([][]float64, m)
-			for c := 0; c < m; c++ {
-				perClass[c] = trainPerClass[c][fi]
-			}
-			cls, err := bayes.TrainKDE(labels, perClass, nil)
+	classifiers, exts, err := s.trainExitClassifiers(cfg.Features,
+		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
+		func(class, w int) (adversary.PIATSource, error) {
+			route, err := s.buildRoute(spec, class,
+				phantomUserBase+class*cfg.TrainWindows+w, false)
 			if err != nil {
 				return nil, err
 			}
-			classifiers[fi] = cls
-		}
+			return netem.NewDiffer(route.Exit), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	eng, err := s.NewCascade(spec)

@@ -1,13 +1,3 @@
-// Package core assembles the paper's complete system (Fig. 1): protected
-// payload sources feeding a link-padding sender gateway, an unprotected
-// network path of routers carrying crossover traffic, and an adversary tap
-// whose observations drive the statistical traffic-analysis attack.
-//
-// A System is a declarative description; every stream it hands out is an
-// independent, deterministic replica derived from the master seed, so the
-// adversary's off-line training corpus (paper §3.3: "the adversary can
-// simulate the whole system") and the run-time observations are distinct
-// realizations of the same system — exactly the paper's threat model.
 package core
 
 import (
@@ -826,4 +816,50 @@ func (s *System) detectionAt(sigmaT float64, attack AttackConfig) (float64, erro
 		return 0, err
 	}
 	return res.DetectionRate, nil
+}
+
+// trainExitClassifiers runs the shared off-line phase of the population,
+// cascade and active correlation attacks: per class, reduce trainWindows
+// phantom observations — source builds observation w of a class, a fresh
+// realization drawn from the protocol's disjoint phantom index block, so
+// training observes cover traffic, batching and re-padding exactly as
+// run time does without sharing realizations with the observed flows —
+// to one value per feature, then train one KDE classifier per feature.
+// The returned extractors parallel the classifiers; both are nil when
+// features is empty.
+func (s *System) trainExitClassifiers(features []analytic.Feature, trainWindows, featureWindow, workers int,
+	source func(class, w int) (adversary.PIATSource, error)) ([]*bayes.Classifier, []adversary.Extractor, error) {
+	if len(features) == 0 {
+		return nil, nil, nil
+	}
+	exts := make([]adversary.Extractor, len(features))
+	for i, f := range features {
+		exts[i] = adversary.Extractor{Feature: f}
+	}
+	m := len(s.cfg.Rates)
+	labels := s.Labels()
+	trainPerClass := make([][][]float64, m)
+	for c := 0; c < m; c++ {
+		class := c
+		factory := func(w int) (adversary.PIATSource, error) { return source(class, w) }
+		mat, err := adversary.FeatureMatrix(factory, exts,
+			trainWindows, featureWindow, workers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: training class %q: %w", labels[c], err)
+		}
+		trainPerClass[c] = mat
+	}
+	classifiers := make([]*bayes.Classifier, len(exts))
+	for fi := range exts {
+		perClass := make([][]float64, m)
+		for c := 0; c < m; c++ {
+			perClass[c] = trainPerClass[c][fi]
+		}
+		cls, err := bayes.TrainKDE(labels, perClass, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		classifiers[fi] = cls
+	}
+	return classifiers, exts, nil
 }

@@ -11,24 +11,27 @@ package core
 // cross-domain collision test (domains_test.go) enforces that the domains
 // stay disjoint.
 //
-//	bit 63         bit 62         bits 32..61           bits 0..31
-//	session flag   population flag  window/session index  phase base / user+role
+//	bit 63         bit 62           bit 61       bits 32..60           bits 0..31
+//	session flag   population flag  active flag  window/session index  phase base / user+role
 //
-// The two flag bits select four disjoint domains:
+// The two top flag bits select four disjoint passive domains, and the
+// active flag (bit 61) carves a fifth domain out of the replica range
+// for the active-adversary protocol:
 //
-//	bits 63,62   domain
-//	0 0          replica (i.i.d. windows)
-//	1 0          session (continuous streams)
-//	0 1          population (multi-user mix)
-//	1 1          cascade (multi-hop routes)
+//	bits 63,62,61   domain
+//	0 0 0           replica (i.i.d. windows)
+//	1 0 0           session (continuous streams)
+//	0 1 0           population (multi-user mix)
+//	1 1 0           cascade (multi-hop routes)
+//	0 0 1           active (watermarked flows)
 //
-// Replica domain (bits 63..62 clear): the i.i.d.-window protocol.
+// Replica domain (bits 63..61 clear): the i.i.d.-window protocol.
 // Phase base IDs are small integers in the low 32 bits (training 1,
 // evaluation 2, diagnostics base+1000, padCost 99, ...); trial window w
 // of base b reads stream windowStreamID(b, w) = b + (w+1)·2³², so window
-// indices occupy bits 32 and up. The spreading reaches bit 62 — the
-// population flag — at w+1 = 2³⁰, so window (and session) indices must
-// stay below 2³⁰−1; real sweeps use at most tens of thousands.
+// indices occupy bits 32 and up. The spreading reaches bit 61 — the
+// active flag — at w+1 = 2²⁹, so window (and session) indices must stay
+// below 2²⁹−1; real sweeps use at most tens of thousands.
 //
 // Session domain (bit 63 set): the continuous-stream protocol
 // (core.Session). Session s of phase base b reads b + (s+1)·2³² with
@@ -52,6 +55,19 @@ package core
 // flow. Flow indices (phantom training flows included, base 2²⁴) stay far
 // below 2³², so the spreading never reaches bit 62, and the two-bit flag
 // keeps the domain disjoint from all three protocols above.
+//
+// Active domain (bit 61 set, bits 63..62 clear): the active-adversary
+// watermark engine (core active entry points). Flow f's streams read
+// activeStreamID(proto, f, hop, role): the scenario protocol occupies
+// bits 52..53 (the same flow index under two protocols is a different
+// realization), the flow index bits 16..47, the hop index bits 8..15,
+// and the low byte selects the role — the flow's payload process,
+// watermark key material, chaff stream, cover stream, padding chain and
+// exit observation chain are disjoint streams of the same flow, and the
+// adversary's decoy keys read their own role under flow = decoy index.
+// Flow spreading stays inside bits 16..47, far below both the protocol
+// field and the flag bits, so the domain is disjoint from all four
+// protocols above.
 const (
 	// sessionDomain tags the stream IDs of continuous sessions (bit 63).
 	sessionDomain = uint64(1) << 63
@@ -59,6 +75,9 @@ const (
 	populationDomain = uint64(1) << 62
 	// cascadeDomain tags the stream IDs of cascade flows (bits 63+62).
 	cascadeDomain = sessionDomain | populationDomain
+	// activeDomain tags the stream IDs of active watermarked flows
+	// (bit 61).
+	activeDomain = uint64(1) << 61
 )
 
 // Population role sub-streams within one user's ID block (low byte of the
@@ -116,4 +135,39 @@ const (
 // flows, hops and their internal elements disjoint from each other.
 func cascadeStreamID(flow, hop int, role uint64) uint64 {
 	return cascadeDomain | uint64(flow)<<16 | uint64(hop)<<8 | role
+}
+
+// Active role sub-streams within one (flow, hop) ID block (low byte of
+// the stream ID). Hop-independent roles read hop 0; the exit observation
+// chain reads one hop past the last padded element.
+const (
+	// activeRolePayload drives the flow's payload arrivals (hop 0 only).
+	activeRolePayload = iota
+	// activeRoleKey derives the flow's watermark key material — the
+	// (seed, class, flowID, role) derivation that keeps keys independent
+	// of worker scheduling.
+	activeRoleKey
+	// activeRoleChaff drives the attacker's chaff arrival process.
+	activeRoleChaff
+	// activeRoleCover drives the defense's cover (dummy payload) process.
+	activeRoleCover
+	// activeRoleHop drives one cascade hop's padding stage.
+	activeRoleHop
+	// activeRoleLink drives the single padded link (gateway or mix plus
+	// the observation chain) of the non-cascade protocols.
+	activeRoleLink
+	// activeRoleExit drives the exit observation chain of cascade flows.
+	activeRoleExit
+	// activeRoleDecoy derives the adversary's decoy keys (flow = decoy
+	// index, class 0).
+	activeRoleDecoy
+)
+
+// activeStreamID derives the stream ID of one role stream of active
+// flow f at the given hop under scenario protocol proto. The active
+// flag keeps the block disjoint from every passive protocol; the
+// protocol, flow, hop and role fields keep scenarios, flows, hops and
+// their internal elements disjoint from each other.
+func activeStreamID(proto ActiveProtocol, flow, hop int, role uint64) uint64 {
+	return activeDomain | uint64(proto)<<52 | uint64(flow)<<16 | uint64(hop)<<8 | role
 }

@@ -2,13 +2,12 @@ package core
 
 import "testing"
 
-// The four observation protocols must draw from pairwise-disjoint
-// stream-ID ranges: a collision would mean two protocols observe the
-// *identical* realization of the system, silently correlating data that
-// the threat model requires to be independent. Sweep the realistic
-// parameter ranges of each domain and check every pair of domains is
-// disjoint, and that IDs within a domain are distinct across distinct
-// parameters.
+// The five stream domains must draw from pairwise-disjoint stream-ID
+// ranges: a collision would mean two protocols observe the *identical*
+// realization of the system, silently correlating data that the threat
+// model requires to be independent. Sweep the realistic parameter
+// ranges of each domain and check every pair of domains is disjoint,
+// and that IDs within a domain are distinct across distinct parameters.
 func TestStreamDomainsDisjoint(t *testing.T) {
 	seen := map[uint64]string{}
 	add := func(id uint64, who string) {
@@ -24,10 +23,10 @@ func TestStreamDomainsDisjoint(t *testing.T) {
 	// Replica domain: phase bases are small integers (training 1, eval 2,
 	// diagnostics base+1000, padCost 99); window counts reach the tens of
 	// thousands at full scale — sweep past that and spot-check the extreme
-	// the spreading bound documents (w+1 < 2^30; one index higher would
-	// reach the population flag at bit 62).
+	// the spreading bound documents (w+1 < 2^29; one index higher would
+	// reach the active flag at bit 61).
 	bases := []uint64{1, 2, 99, 1002, 65535}
-	windows := []int{0, 1, 1000, 100000, 1<<30 - 2}
+	windows := []int{0, 1, 1000, 100000, 1<<29 - 2}
 	for _, b := range bases {
 		for _, w := range windows {
 			add(windowStreamID(b, w), "replica")
@@ -63,17 +62,36 @@ func TestStreamDomainsDisjoint(t *testing.T) {
 		}
 	}
 
+	// Active domain: protocol × flow × hop × role blocks under bit 61.
+	// Flow indices cover real flows, the phantom training block, and the
+	// adversary's decoy indices; the exit role reads one hop past the
+	// last padded element.
+	for _, proto := range []ActiveProtocol{ActiveReplica, ActiveSession, ActivePopulation, ActiveCascade} {
+		for _, f := range flows {
+			for hop := 0; hop <= maxCascadeHops; hop++ {
+				for role := uint64(activeRolePayload); role <= activeRoleDecoy; role++ {
+					add(activeStreamID(proto, f, hop, role),
+						"active/"+proto.String())
+				}
+			}
+		}
+	}
+
 	// The flags themselves must disagree: session sets bit 63, population
-	// sets bit 62 only, cascade sets both, replica sets neither.
+	// sets bit 62 only, cascade sets both, replica sets neither, and the
+	// active flag sits below all of them.
 	if sessionDomain&populationDomain != 0 {
 		t.Fatal("session and population domain flags overlap")
 	}
 	if cascadeDomain != sessionDomain|populationDomain {
 		t.Fatal("cascade domain must set both flag bits")
 	}
+	if activeDomain&(sessionDomain|populationDomain) != 0 {
+		t.Fatal("active domain flag overlaps the session/population flags")
+	}
 	for _, b := range bases {
 		for _, w := range windows {
-			if id := windowStreamID(b, w); id&(sessionDomain|populationDomain) != 0 {
+			if id := windowStreamID(b, w); id&(sessionDomain|populationDomain|activeDomain) != 0 {
 				t.Fatalf("replica ID %#x (base %d, w %d) reaches a domain flag bit", id, b, w)
 			}
 		}
@@ -90,6 +108,14 @@ func TestStreamDomainsDisjoint(t *testing.T) {
 		id := cascadeStreamID(f, maxCascadeHops, cascadeRoleExit)
 		if (id &^ cascadeDomain) >= populationDomain {
 			t.Fatalf("cascade ID %#x (flow %d) spreads into the flag bits", id, f)
+		}
+	}
+	// Active flow spreading (bits 16..47) and the protocol field (bits
+	// 52..53) must stay below the active flag at bit 61.
+	for _, f := range flows {
+		id := activeStreamID(ActiveCascade, f, maxCascadeHops, activeRoleDecoy)
+		if (id &^ activeDomain) >= activeDomain {
+			t.Fatalf("active ID %#x (flow %d) spreads into the flag bits", id, f)
 		}
 	}
 }

@@ -6,7 +6,7 @@ import (
 
 	"linkpad/internal/adversary"
 	"linkpad/internal/analytic"
-	"linkpad/internal/bayes"
+	"linkpad/internal/cascade"
 	"linkpad/internal/gateway"
 	"linkpad/internal/netem"
 	"linkpad/internal/population"
@@ -274,10 +274,8 @@ func (l *rawLink) Next() float64 {
 }
 
 // flowLink assembles one population user link: the user's merged
-// payload+cover stream entering the system's padding policy (CIT/VIT/
-// adaptive gateway, or per-user mix, via the shared timerPolicy /
-// mixSpacing construction), followed by the system's network path and
-// tap imperfections (observationChain), with an optional ingress tap
+// payload+cover stream entering the system's padding policy and the
+// shared observation chain (padStream), with an optional ingress tap
 // observing the merged arrivals before the padding. All randomness comes
 // from master, so a link is deterministic from its stream seed.
 func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, error) {
@@ -296,14 +294,30 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xran
 			return nil, err
 		}
 	}
+	stream, _, err := s.padStream(src, raw, master, tap)
+	return stream, err
+}
+
+// padStream routes an arbitrary arrival process through the system's
+// padding policy (CIT/VIT/adaptive gateway, or mix, via the shared
+// timerPolicy / mixSpacing construction) and the system-level
+// observation chain — network path and tap imperfections — with an
+// optional ingress tap observing the arrivals before the padding. raw
+// bypasses the padding (the unpadded anchor still crosses the network
+// and the tap, so comparisons isolate the policy alone). The returned
+// probe reads the padding stage's overhead counters (nil for raw
+// links). The population and active protocols share this construction;
+// master is consumed in a fixed order, so the chain is deterministic
+// from its stream seed.
+func (s *System) padStream(src traffic.Source, raw bool, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, cascade.HopProbe, error) {
 	var stream netem.TimeStream
+	var probe cascade.HopProbe
+	var err error
 	switch {
 	case raw:
-		// The unpadded anchor still crosses the network and the tap, so
-		// the comparison isolates the padding policy alone.
 		stream = &rawLink{src: src, tap: tap}
 	case s.cfg.Mix != nil:
-		stream, err = gateway.NewMix(gateway.MixConfig{
+		mix, err := gateway.NewMix(gateway.MixConfig{
 			K:           s.cfg.Mix.K,
 			SendSpacing: s.mixSpacing(),
 			Payload:     src,
@@ -312,14 +326,18 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xran
 			ArrivalTap:  tap,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		probe = func() cascade.HopStats {
+			return cascade.HopStats{Policy: "MIX", Emitted: mix.Packets()}
+		}
+		stream = mix
 	default:
 		policy, err := s.timerPolicy(master)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		stream, err = gateway.New(gateway.Config{
+		gw, err := gateway.New(gateway.Config{
 			Policy:     policy,
 			Jitter:     s.cfg.Jitter,
 			Payload:    src,
@@ -327,10 +345,34 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xran
 			ArrivalTap: tap,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		name := s.policyName()
+		probe = func() cascade.HopStats {
+			st := gw.Stats()
+			return cascade.HopStats{Policy: name, Emitted: st.Fires, Dummies: st.Dummies}
+		}
+		stream = gw
 	}
-	return s.observationChain(stream, master)
+	stream, err = s.observationChain(stream, master)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, probe, nil
+}
+
+// policyName names the system-level padding policy for overhead reports.
+func (s *System) policyName() string {
+	switch {
+	case s.cfg.Mix != nil:
+		return "MIX"
+	case s.cfg.Adaptive != nil:
+		return "ADAPTIVE"
+	case s.cfg.SigmaT > 0:
+		return "VIT"
+	default:
+		return "CIT"
+	}
 }
 
 // phantomUserBase offsets the user/flow indices of the adversary's
@@ -359,48 +401,21 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 		return nil, errors.New("core: flow correlation needs at least two training windows per class")
 	}
 	cum := s.classCum(spec.ClassMix)
-	m := len(s.cfg.Rates)
 
 	// Off-line phase: per-class feature densities from phantom flows.
-	var classifiers []*bayes.Classifier
-	var exts []adversary.Extractor
-	if len(cfg.Features) > 0 {
-		exts = make([]adversary.Extractor, len(cfg.Features))
-		for i, f := range cfg.Features {
-			exts[i] = adversary.Extractor{Feature: f}
-		}
-		labels := s.Labels()
-		trainPerClass := make([][][]float64, m)
-		for c := 0; c < m; c++ {
-			class := c
-			factory := func(w int) (adversary.PIATSource, error) {
-				master := xrand.New(s.streamSeed(class,
-					populationStreamID(phantomUserBase+class*cfg.TrainWindows+w, popRoleLink)))
-				link, err := s.flowLink(spec, class, cfg.Raw, master, nil)
-				if err != nil {
-					return nil, err
-				}
-				return netem.NewDiffer(link), nil
-			}
-			mat, err := adversary.FeatureMatrix(factory, exts,
-				cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers)
-			if err != nil {
-				return nil, fmt.Errorf("core: training class %q: %w", labels[c], err)
-			}
-			trainPerClass[c] = mat
-		}
-		classifiers = make([]*bayes.Classifier, len(exts))
-		for fi := range exts {
-			perClass := make([][]float64, m)
-			for c := 0; c < m; c++ {
-				perClass[c] = trainPerClass[c][fi]
-			}
-			cls, err := bayes.TrainKDE(labels, perClass, nil)
+	classifiers, exts, err := s.trainExitClassifiers(cfg.Features,
+		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
+		func(class, w int) (adversary.PIATSource, error) {
+			master := xrand.New(s.streamSeed(class,
+				populationStreamID(phantomUserBase+class*cfg.TrainWindows+w, popRoleLink)))
+			link, err := s.flowLink(spec, class, cfg.Raw, master, nil)
 			if err != nil {
 				return nil, err
 			}
-			classifiers[fi] = cls
-		}
+			return netem.NewDiffer(link), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Run-time phase: observe every user's flow and correlate.

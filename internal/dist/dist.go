@@ -1,8 +1,9 @@
 // Package dist provides the small numerical toolkit shared by the
 // analytic theory, the Bayes classifier and the KDE: the normal
 // distribution, the standard normal CDF, bracketing root finding, and
-// composite numerical integration. Everything is dependency-free and
-// deterministic.
+// composite numerical integration. Everything is dependency-free,
+// deterministic (pure functions, fixed iteration counts and
+// tolerances), and allocation-free.
 package dist
 
 import (

@@ -3,6 +3,18 @@
 // extension and ablation studies of the reproduction's own design
 // choices. Each runner returns a Table whose rows are the series the
 // paper plots; the bench harness and the linkpadsim CLI render them.
+// Beyond the figures, ext-* runners extend the study to new scenario
+// axes (continuous sessions, populations, cascades, the active
+// watermark adversary) and ablation-* runners vary one design choice at
+// matched budgets; PAPER.md maps every paper claim to its runner.
+//
+// Determinism contract: a Table is a pure function of (experiment ID,
+// Options.Scale, Options.Seed). Runners fan sweep cells out through
+// parMap, every cell derives its randomness from its own (seed, cell)
+// streams, and nested engines receive bounded nested workers — so
+// tables are byte-identical at any Options.Workers, a property CI
+// enforces with golden tables (testdata/golden/) and the
+// worker-invariance tests.
 package experiment
 
 import (

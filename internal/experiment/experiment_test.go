@@ -53,7 +53,8 @@ func TestRegistry(t *testing.T) {
 	want := []string{"ablation-binwidth", "ablation-crossmodel",
 		"ablation-hop-policies", "ablation-payload",
 		"ablation-population-padding", "ablation-tap", "ablation-theorygap",
-		"ablation-training", "ablation-windowing", "baseline-policies",
+		"ablation-training", "ablation-watermark-defenses",
+		"ablation-windowing", "baseline-policies", "ext-active",
 		"ext-cascade", "ext-disclosure", "ext-features", "ext-online",
 		"ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig8a",
 		"fig8b", "multirate", "validate-exactnet"}
@@ -539,7 +540,8 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		return sb.String()
 	}
-	for _, id := range []string{"fig6", "fig4b", "ext-online"} {
+	for _, id := range []string{"fig6", "fig4b", "ext-online", "ext-active",
+		"ablation-watermark-defenses"} {
 		ref, err := Run(id, Options{Scale: 0.12, Seed: 5, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
@@ -838,5 +840,151 @@ func TestAblationPopulationPadding(t *testing.T) {
 	}
 	if acc[mix] < 0.9 || corr[mix] < 0.8 {
 		t.Errorf("batching should leave the fingerprint on the wire: acc %v corr %v", acc[mix], corr[mix])
+	}
+}
+
+// The active watermark headline: detection falls monotonically from the
+// unpadded anchor through CIT/VIT and the batching mix to the two-hop
+// cascade at every chaff amplitude, and rises with amplitude within
+// every policy. The cascade destroys the watermark outright — the inner
+// hop's timer only ever sees the entry hop's constant 1/tau.
+func TestExtActivePolicyTiers(t *testing.T) {
+	tbl := runTable(t, "ext-active")
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("expected 5 policies x 3 amplitudes = 15 rows, got %d", len(tbl.Rows))
+	}
+	det := col(tbl, "det_rate")
+	classAcc := col(tbl, "class_acc")
+	anon := col(tbl, "anonymity")
+	pps := col(tbl, "route_pps")
+	inj := col(tbl, "injected_pps")
+	const policies, amps = 5, 3
+	const none, cit, vit, mix, casc = 0, 1, 2, 3, 4
+	at := func(v []float64, p, a int) float64 { return v[p*amps+a] }
+	for a := 0; a < amps; a++ {
+		// Countermeasure tiers, non-increasing at matched overhead.
+		for p := 1; p < policies; p++ {
+			if at(det, p, a) > at(det, p-1, a) {
+				t.Errorf("amp %d: policy %d detects more than policy %d (%v > %v)",
+					a, p, p-1, at(det, p, a), at(det, p-1, a))
+			}
+		}
+		if at(det, none, a) < 0.9 {
+			t.Errorf("amp %d: unpadded anchor should be detected, det %v", a, at(det, none, a))
+		}
+		if at(det, casc, a) != 0 {
+			t.Errorf("amp %d: the cascade should destroy the watermark, det %v", a, at(det, casc, a))
+		}
+		if at(anon, casc, a) < at(anon, none, a)+0.2 {
+			t.Errorf("amp %d: cascade anonymity %v should clearly exceed the anchor's %v",
+				a, at(anon, casc, a), at(anon, none, a))
+		}
+	}
+	for p := 0; p < policies; p++ {
+		// More chaff, more signal (weakly) — and a higher attacker bill.
+		for a := 1; a < amps; a++ {
+			if at(det, p, a) < at(det, p, a-1) {
+				t.Errorf("policy %d: detection should rise with amplitude: %v < %v",
+					p, at(det, p, a), at(det, p, a-1))
+			}
+			if at(inj, p, a) <= at(inj, p, a-1) {
+				t.Errorf("policy %d: injected pps should rise with amplitude", p)
+			}
+		}
+		// Matched overhead: timers hold the 100 pps wire rate, the
+		// cascade pays double, the anchor forwards payload+chaff only.
+		wantPPS := 100.0
+		switch p {
+		case none:
+			if at(pps, p, 0) > 50 {
+				t.Errorf("unpadded route pps %v, want payload-only", at(pps, p, 0))
+			}
+			continue
+		case mix:
+			wantPPS = 110 // cover tops users up toward 100 pps, plus chaff
+		case casc:
+			wantPPS = 200
+		}
+		for a := 0; a < amps; a++ {
+			if got := at(pps, p, a); got < wantPPS-12 || got > wantPPS+12 {
+				t.Errorf("policy %d amp %d: route pps %v, want ~%v", p, a, got, wantPPS)
+			}
+		}
+	}
+	// The Raw anchor trains no classifier; padded policies still leak
+	// class structure through the exit tap at low depth.
+	if classAcc[0] != 0 {
+		t.Errorf("raw anchor class acc %v, want 0", classAcc[0])
+	}
+	if at(classAcc, cit, 0) < 0.6 {
+		t.Errorf("single CIT hop should leak the class, acc %v", at(classAcc, cit, 0))
+	}
+}
+
+// The watermark-defense ablation: one CIT hop leaks keyed chaff through
+// its blocking channel, any re-padding second hop kills it at equal
+// bandwidth — except a mix *in front of* the timer, which forwards the
+// chaff rate pattern into the downstream blocking channel. Delay-jitter
+// watermarks die at the first re-timing hop regardless of policy.
+func TestAblationWatermarkDefenses(t *testing.T) {
+	tbl := runTable(t, "ablation-watermark-defenses")
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("expected 5 routes x 2 modes = 10 rows, got %d", len(tbl.Rows))
+	}
+	det := col(tbl, "det_rate")
+	inj := col(tbl, "injected_pps")
+	delay := col(tbl, "added_delay_ms")
+	pps := col(tbl, "route_pps")
+	const modes = 2
+	const cit, citcit, vitvit, citmix, mixcit = 0, 1, 2, 3, 4
+	const chaff, jitter = 0, 1
+	at := func(v []float64, r, m int) float64 { return v[r*modes+m] }
+	// Chaff mode: the single hop and the mix-entry route leak, the other
+	// two-hop routes protect.
+	if at(det, cit, chaff) < 0.4 {
+		t.Errorf("single CIT hop should leak chaff, det %v", at(det, cit, chaff))
+	}
+	if at(det, mixcit, chaff) < 0.5 {
+		t.Errorf("MIX8+CIT should forward the chaff pattern into the timer, det %v",
+			at(det, mixcit, chaff))
+	}
+	for _, r := range []int{citcit, vitvit, citmix} {
+		if at(det, r, chaff) > 0.1 {
+			t.Errorf("route %d: a re-padding second hop should kill the chaff watermark, det %v",
+				r, at(det, r, chaff))
+		}
+		if at(det, mixcit, chaff) < at(det, r, chaff)+0.3 {
+			t.Errorf("hop order should decide the leak: MIX8+CIT %v vs route %d %v",
+				at(det, mixcit, chaff), r, at(det, r, chaff))
+		}
+	}
+	// Delay mode: the first re-timing hop erases the imprinted timing on
+	// every route, and the injection costs latency, not packets.
+	for r := cit; r <= mixcit; r++ {
+		if at(det, r, jitter) > 0.1 {
+			t.Errorf("route %d: delay watermark should die at the first re-timing hop, det %v",
+				r, at(det, r, jitter))
+		}
+		if at(inj, r, jitter) != 0 {
+			t.Errorf("route %d: delay mode injects no packets, got %v pps", r, at(inj, r, jitter))
+		}
+		if at(delay, r, jitter) < 20 {
+			t.Errorf("route %d: delay mode should cost visible latency, got %v ms", r, at(delay, r, jitter))
+		}
+		if at(delay, r, chaff) != 0 {
+			t.Errorf("route %d: chaff mode imposes no delay, got %v ms", r, at(delay, r, chaff))
+		}
+	}
+	// Equal bandwidth on the timer-entry routes; the mix-entry route
+	// pads nothing and rides cheaper.
+	for _, r := range []int{citcit, vitvit, citmix} {
+		for m := 0; m < modes; m++ {
+			if at(pps, r, m) < 195 || at(pps, r, m) > 205 {
+				t.Errorf("route %d mode %d: pps %v, want ~200", r, m, at(pps, r, m))
+			}
+		}
+	}
+	if at(pps, mixcit, chaff) > 150 {
+		t.Errorf("mix-entry route pps %v should undercut the timer routes", at(pps, mixcit, chaff))
 	}
 }

@@ -13,6 +13,14 @@
 // Var(PIAT | ω_h) > Var(PIAT | ω_l) while the means stay equal: exactly
 // the leak the paper's adversary exploits, emerging here from an explicit
 // causal model rather than being injected as a fitted constant.
+//
+// Determinism contract: a Gateway draws every variate from the single
+// *xrand.Rand it was built with, in arrival order — it is a pure
+// function of (payload source, rng) — and carries its clock across
+// calls (Now), so continuous sessions and cold-start replicas share one
+// implementation. Allocation discipline: the departure stream is
+// generated packet-by-packet with O(1) state and no buffering; a warmed
+// gateway allocates nothing.
 package gateway
 
 import (

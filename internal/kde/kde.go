@@ -3,6 +3,14 @@
 // histograms are too coarse for estimating the PDF of a feature statistic,
 // so the per-class feature distributions are estimated with Gaussian
 // kernels and Silverman's rule-of-thumb bandwidth (Silverman 1986).
+//
+// Two evaluators share the fit: the exact estimator sums a kernel per
+// training point per query, and Grid precomputes a log-density grid
+// once (scatter-built with a multiplicative recurrence) for O(1)
+// interpolated queries — the default for the classification hot path,
+// property-tested against the exact form. Both are deterministic pure
+// functions of the training sample, and a built Grid allocates nothing
+// per query.
 package kde
 
 import (

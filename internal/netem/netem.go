@@ -15,6 +15,14 @@
 //     period at the utilizations studied, so consecutive padded packets
 //     see essentially independent queue states. Used for the large
 //     parameter sweeps; equivalence with Router is enforced by tests.
+//
+// Determinism contract: every element draws from the explicit
+// *xrand.Rand it was built with, in packet order, so a path is a pure
+// function of (upstream stream, rngs). Differ adapts an absolute-time
+// stream to the PIATs the adversary consumes while carrying the session
+// clock (Now) and warm-up discard (Skip) across windows. Allocation
+// discipline: all elements are streaming with O(1) state — no packet
+// buffers, nothing allocated per packet.
 package netem
 
 import (

@@ -3,6 +3,10 @@
 // pipeline (parallel trials): an indexed parallel map whose result is
 // independent of the worker count, because every index writes only its
 // own pre-assigned slot and derives any randomness from its own seed.
+// This is the repository's whole determinism story in one primitive:
+// parallelism only ever distributes index-addressed work, never
+// reorders reductions. The map allocates one goroutine per worker and
+// an atomic cursor — nothing per index.
 package par
 
 import (

@@ -2,6 +2,11 @@
 // queue with deterministic FIFO tie-breaking. It is the ground-truth
 // substrate for the gateway + network models; the streaming fast paths in
 // internal/gateway and internal/netem are validated against DES runs.
+// Determinism contract: events at equal times fire in scheduling order
+// (a monotone sequence number breaks heap ties), so a run is a pure
+// function of its initial events and their handlers. The simulator is
+// validation-only — it is deliberately kept off the Monte Carlo hot
+// path, so per-event heap allocations are acceptable here.
 package sim
 
 import (

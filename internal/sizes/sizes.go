@@ -5,6 +5,12 @@
 // size-padding schemes (none, bucket, constant), the induced byte
 // overhead, and the adversary's size-based classification attack that
 // constant-size padding is there to defeat.
+//
+// Determinism contract: profile sampling consumes one variate per
+// packet from the caller's *xrand.Rand, and Detect derives each trial's
+// randomness from its trial index, so attack results are byte-identical
+// at any worker count. The per-trial loop reuses count buffers and
+// allocates nothing in steady state.
 package sizes
 
 import (

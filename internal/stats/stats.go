@@ -3,6 +3,14 @@
 // exactly as the adversary computes them (paper eqs. 17 and 19), fixed-bin
 // histograms, and the robust histogram-based differential entropy
 // estimator of Moddemeijer (paper eqs. 24-25).
+//
+// Everything is a deterministic pure function or a reusable accumulator:
+// Moments carries Welford state in O(1), StreamHist is a dense
+// fixed-bin histogram reset between windows instead of reallocated, and
+// Quantile selects in place with quickselect — the feature-extraction
+// hot path allocates nothing in steady state. Summation orders are
+// fixed (bin order, sample order), never map order, so results are
+// byte-identical across runs and worker counts.
 package stats
 
 import (

@@ -3,6 +3,14 @@
 // adversary tool (cmd/advclassify). A trace is a text file with '#'
 // metadata lines ("# key: value") followed by one inter-arrival time in
 // seconds per line.
+//
+// The format round-trips exactly: values are written at full float64
+// precision (%.17g) and metadata keys are emitted in sorted order, so
+// writing is deterministic and Read(Write(x)) == x. Readers are
+// tolerant — blank lines, bare '#' comments and CRLF line endings are
+// accepted — while writers are strict: metadata containing colons in
+// keys or newlines anywhere is rejected rather than emitted unparseably
+// (fuzz-tested, including the reader's seed corpus in testdata/fuzz).
 package trace
 
 import (

@@ -3,6 +3,14 @@
 // ω_h = 40 pps), cross-traffic generators for the lab experiments
 // (paper §5.2), and the diurnal utilization profile used to model campus
 // and wide-area background load over a 24-hour capture (paper §5.3).
+//
+// Determinism contract: a Source consumes variates from the single
+// *xrand.Rand it was built with, one pull at a time, so a source is a
+// pure function of (parameters, rng) and composes freely — Superpose
+// merges sources by arrival time without extra randomness, and session
+// protocols carry source state (e.g. OnOff.State) across observation
+// windows. Sources are streaming with O(1) state; nothing is allocated
+// per packet.
 package traffic
 
 import (

@@ -32,6 +32,7 @@
 package linkpad
 
 import (
+	"linkpad/internal/active"
 	"linkpad/internal/analytic"
 	"linkpad/internal/cascade"
 	"linkpad/internal/core"
@@ -191,6 +192,47 @@ const (
 	CascadeCIT = core.CascadeCIT
 	CascadeVIT = core.CascadeVIT
 	CascadeMix = core.CascadeMix
+)
+
+// Active adversary (see internal/active): an attacker with a vantage
+// point on the payload side of the countermeasure injects a keyed
+// watermark — delay jitter or chaff probes — into each flow before the
+// padding and runs a matched-filter detector at the exit tap
+// (System.RunActiveDetection). The scenario crosses any of the four
+// observation protocols, so one study compares every countermeasure
+// against the same active attack at matched overhead.
+type (
+	// ActiveSpec describes an active-adversary scenario: who is
+	// watermarked, by which mechanism and amplitude, and which
+	// observation protocol the flows cross.
+	ActiveSpec = core.ActiveSpec
+	// ActiveProtocol selects the observation protocol of an active
+	// scenario (replica, session, population or cascade).
+	ActiveProtocol = core.ActiveProtocol
+	// ActiveDetectConfig parameterizes the watermark detection attack.
+	ActiveDetectConfig = core.ActiveDetectConfig
+	// ActiveEngine is the instantiated watermark engine
+	// (System.NewActive), handing out per-flow watermarked observations.
+	ActiveEngine = active.Engine
+	// ActiveResult reports a watermark detection run: detection rate,
+	// key-match accuracy, degree of anonymity, exit class accuracy, and
+	// both sides' overhead accounting.
+	ActiveResult = active.Result
+	// WatermarkMode selects the injection mechanism (delay or chaff).
+	WatermarkMode = active.Mode
+	// WatermarkKey is a keyed ±1 chip schedule driving an injection.
+	WatermarkKey = active.Key
+)
+
+// Active-adversary protocols and watermark modes.
+const (
+	ActiveReplica    = core.ActiveReplica
+	ActiveSession    = core.ActiveSession
+	ActivePopulation = core.ActivePopulation
+	ActiveCascade    = core.ActiveCascade
+
+	WatermarkDelay = active.ModeDelay
+	WatermarkChaff = active.ModeChaff
 )
 
 // Experiment tables (see internal/experiment).
