@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-compare staticcheck \
-	docs golden golden-check ci clean
+	docs golden golden-check resume-check ci clean
 
 all: vet build test
 
@@ -62,8 +62,28 @@ golden-check:
 		echo "golden tables differ: intentional? regenerate with 'make golden' and commit"; exit 1; }; \
 	rm -rf $$tmp; echo "golden tables byte-identical"
 
+# The resume-determinism gate: run the checkpointable population sweep,
+# kill it mid-flight (simulated crash after 3 cells, exit code 3), resume
+# from the checkpoint file, and byte-diff the finished table against the
+# committed golden copy — a resumed run must be indistinguishable from
+# one that never crashed.
+resume-check:
+	@tmp=$$(mktemp -d) || exit 1; \
+	$(GO) build -o $$tmp/linkpadsim ./cmd/linkpadsim || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/linkpadsim -exp ext-disclosure -scale $(GOLDEN_SCALE) -seed $(GOLDEN_SEED) \
+		-checkpoint $$tmp/cp.json -checkpoint-kill 3 -o $$tmp; \
+	status=$$?; \
+	if [ $$status -ne 3 ]; then rm -rf $$tmp; \
+		echo "expected simulated-crash exit code 3, got $$status"; exit 1; fi; \
+	[ -f $$tmp/cp.json ] || { rm -rf $$tmp; echo "no checkpoint file persisted"; exit 1; }; \
+	$$tmp/linkpadsim -exp ext-disclosure -scale $(GOLDEN_SCALE) -seed $(GOLDEN_SEED) \
+		-checkpoint $$tmp/cp.json -o $$tmp || { rm -rf $$tmp; exit 1; }; \
+	diff testdata/golden/ext-disclosure.txt $$tmp/ext-disclosure.txt || { rm -rf $$tmp; \
+		echo "resumed table differs from the uninterrupted golden"; exit 1; }; \
+	rm -rf $$tmp; echo "kill-and-resume run byte-identical to golden"
+
 # Everything the CI workflow runs, reproducible locally in one command.
-ci: vet build test race staticcheck docs golden-check
+ci: vet build test race staticcheck docs golden-check resume-check
 
 clean:
 	rm -f linkpad.test

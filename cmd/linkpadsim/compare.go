@@ -59,9 +59,17 @@ func runBenchCompare(w io.Writer, path string) error {
 	}
 	ids := make([]string, 0, len(last.Experiments))
 	newSecs := make(map[string]float64, len(last.Experiments))
+	shared := 0
 	for _, p := range last.Experiments {
 		ids = append(ids, p.ID)
 		newSecs[p.ID] = p.Seconds
+		if _, ok := oldSecs[p.ID]; ok {
+			shared++
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("bench-compare: the comparable records (%s and %s) share no experiments — nothing to diff",
+			prev.Timestamp, last.Timestamp)
 	}
 	sort.Strings(ids)
 	fmt.Fprintf(w, "%-28s %10s %10s %9s\n", "experiment", "old_s", "new_s", "delta")
@@ -72,17 +80,27 @@ func runBenchCompare(w io.Writer, path string) error {
 			fmt.Fprintf(w, "%-28s %10s %10.3f %9s\n", id, "-", after, "new")
 			continue
 		}
-		fmt.Fprintf(w, "%-28s %10.3f %10.3f %+8.1f%%\n", id, before, after, 100*(after-before)/before)
+		fmt.Fprintf(w, "%-28s %10.3f %10.3f %9s\n", id, before, after, deltaPct(before, after))
 	}
 	for _, p := range prev.Experiments {
 		if _, ok := newSecs[p.ID]; !ok {
 			fmt.Fprintf(w, "%-28s %10.3f %10s %9s\n", p.ID, p.Seconds, "-", "gone")
 		}
 	}
-	fmt.Fprintf(w, "%-28s %10.3f %10.3f %+8.1f%%\n", "total",
+	fmt.Fprintf(w, "%-28s %10.3f %10.3f %9s\n", "total",
 		prev.TotalSeconds, last.TotalSeconds,
-		100*(last.TotalSeconds-prev.TotalSeconds)/prev.TotalSeconds)
+		deltaPct(prev.TotalSeconds, last.TotalSeconds))
 	return nil
+}
+
+// deltaPct formats the relative change from before to after. A zero
+// baseline (a hand-edited or truncated record) has no defined relative
+// change — render "n/a" rather than dividing by zero.
+func deltaPct(before, after float64) string {
+	if before == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(after-before)/before)
 }
 
 // short truncates a commit hash for display, keeping any +dirty suffix.

@@ -78,4 +78,45 @@ func TestBenchCompareErrors(t *testing.T) {
 	if err := runBenchCompare(&strings.Builder{}, widths); err == nil {
 		t.Error("workers=0 records with different GOMAXPROCS should not be comparable")
 	}
+	// A comparable pair that shares no experiment IDs would print headers
+	// followed by nothing useful; it must fail instead.
+	disjoint := writeTrajectory(t, `[
+  {"timestamp":"t1","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":4,
+   "experiments":[{"id":"fig4b","seconds":4,"rows":5}]},
+  {"timestamp":"t2","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":6,
+   "experiments":[{"id":"ext-online","seconds":6,"rows":3}]}
+]`)
+	if err := runBenchCompare(&strings.Builder{}, disjoint); err == nil {
+		t.Error("comparable records sharing no experiments should fail, not print an empty diff")
+	} else if !strings.Contains(err.Error(), "share no experiments") {
+		t.Errorf("unexpected error for disjoint records: %v", err)
+	}
+}
+
+func TestBenchCompareZeroBaseline(t *testing.T) {
+	// Zero-second baselines (hand-edited or truncated records) must not
+	// divide by zero: the delta renders as n/a for both a per-experiment
+	// row and the total.
+	path := writeTrajectory(t, `[
+  {"timestamp":"t1","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":0,
+   "experiments":[{"id":"fig4b","seconds":0,"rows":5}]},
+  {"timestamp":"t2","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":2,
+   "experiments":[{"id":"fig4b","seconds":2,"rows":5}]}
+]`)
+	var sb strings.Builder
+	if err := runBenchCompare(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "n/a"); got != 2 {
+		t.Errorf("want 2 n/a deltas (row + total), got %d:\n%s", got, sb.String())
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	if got := deltaPct(4, 2); got != "-50.0%" {
+		t.Errorf("deltaPct(4, 2) = %q", got)
+	}
+	if got := deltaPct(0, 2); got != "n/a" {
+		t.Errorf("deltaPct(0, 2) = %q", got)
+	}
 }

@@ -8,6 +8,7 @@
 //	linkpadsim -exp all -o results/
 //	linkpadsim -exp all -bench-json BENCH.json
 //	linkpadsim -bench-compare BENCH.json
+//	linkpadsim -exp ext-disclosure -checkpoint cp.json [-checkpoint-kill N]
 //
 // Each experiment prints the series the corresponding paper figure plots;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +26,17 @@ import (
 	"linkpad/internal/experiment"
 )
 
+// exitKilled is the distinct exit code for a -checkpoint-kill simulated
+// crash: the run stopped on purpose with a valid checkpoint on disk, so
+// CI can tell "resume me" apart from a real failure's exit 1.
+const exitKilled = 3
+
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, experiment.ErrKilled) {
+			fmt.Fprintln(os.Stderr, "linkpadsim:", err)
+			os.Exit(exitKilled)
+		}
 		fmt.Fprintln(os.Stderr, "linkpadsim:", err)
 		os.Exit(1)
 	}
@@ -42,9 +53,23 @@ func run() error {
 		outDir       = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
 		benchJSON    = flag.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
 		benchCompare = flag.String("bench-compare", "", "print per-experiment wall-clock deltas between the last two comparable records (same scale/seed/workers) of this bench trajectory file")
+		checkpoint   = flag.String("checkpoint", "", "persist per-cell progress of a checkpointable experiment to this file and resume from it if present")
+		cpKill       = flag.Int("checkpoint-kill", 0, "abort with a simulated crash after this many cells finish (requires -checkpoint; exit code 3)")
+		timeout      = flag.Duration("timeout", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
 	)
 	flag.Parse()
 
+	if *timeout > 0 {
+		// A hard wall-clock guard for CI smoke steps: a wedged experiment
+		// must fail the step, not hang the job until the runner's global
+		// timeout. The timer goroutine exits the process directly — there
+		// is nothing to clean up that the OS won't.
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "linkpadsim: timeout: run exceeded %v\n", *timeout)
+			os.Exit(2)
+		}()
+	}
 	if *benchCompare != "" {
 		return runBenchCompare(os.Stdout, *benchCompare)
 	}
@@ -70,13 +95,36 @@ func run() error {
 	}
 	opts := experiment.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 
+	if *cpKill > 0 && *checkpoint == "" {
+		return fmt.Errorf("-checkpoint-kill requires -checkpoint")
+	}
+	if *checkpoint != "" {
+		if *benchJSON != "" {
+			return fmt.Errorf("-checkpoint and -bench-json are mutually exclusive")
+		}
+		if len(ids) != 1 {
+			return fmt.Errorf("-checkpoint runs a single experiment, not -exp all")
+		}
+		if !experiment.Checkpointable(ids[0]) {
+			return fmt.Errorf("%s does not support checkpointing (cell experiments only)", ids[0])
+		}
+	}
+
 	if *benchJSON != "" {
 		return runBenchJSON(ids, opts, *benchJSON)
 	}
 
 	for _, id := range ids {
 		start := time.Now()
-		tbl, err := experiment.Run(id, opts)
+		var (
+			tbl *experiment.Table
+			err error
+		)
+		if *checkpoint != "" {
+			tbl, err = experiment.RunCheckpointed(id, opts, *checkpoint, *cpKill)
+		} else {
+			tbl, err = experiment.Run(id, opts)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

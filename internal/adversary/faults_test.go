@@ -1,0 +1,172 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"linkpad/internal/xrand"
+)
+
+// Capture-fault robustness of the rate-vector extraction (satellite of
+// the fault-injection substrate): an impaired tap hands the adversary
+// duplicated and out-of-order observations, and the reduction must
+// degrade predictably — reordering is invisible (binning is
+// order-insensitive), duplication inflates counts without moving them.
+
+func TestRateVectorReorderInsensitive(t *testing.T) {
+	rng := xrand.New(21)
+	times := make([]float64, 5000)
+	now := 0.0
+	for i := range times {
+		now += rng.Exp(0.01)
+		times[i] = now
+	}
+	out := make([]float64, 40)
+	if _, err := RateVector(times, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), out...)
+	// A mis-sequenced capture: bounded local shuffles like a reordering
+	// tap produces, then a full reversal for good measure.
+	shuffled := append([]float64(nil), times...)
+	for i := 0; i+3 < len(shuffled); i += 2 {
+		k := i + 1 + int(rng.Intn(3))
+		shuffled[i], shuffled[k] = shuffled[k], shuffled[i]
+	}
+	if _, err := RateVector(shuffled, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("locally shuffled capture changed bin %d: %v != %v", i, out[i], want[i])
+		}
+	}
+	for i, j := 0, len(shuffled)-1; i < j; i, j = i+1, j-1 {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	if _, err := RateVector(shuffled, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("reversed capture changed bin %d", i)
+		}
+	}
+}
+
+func TestRateVectorDuplicatedObservations(t *testing.T) {
+	times := []float64{0.1, 0.5, 0.9, 1.1, 1.2, 2.5}
+	// A double-recording tap repeats some observations in place.
+	dup := []float64{0.1, 0.1, 0.5, 0.9, 0.9, 0.9, 1.1, 1.2, 2.5, 2.5}
+	base := make([]float64, 3)
+	got := make([]float64, 3)
+	if _, err := RateVector(times, 0, 1, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RateVector(dup, 0, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{base[0] + 3, base[1], base[2] + 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Uniform duplication scales every bin, so Pearson against any
+	// reference is unchanged: a uniformly double-recording tap costs the
+	// correlation attack nothing.
+	double := make([]float64, 0, 2*len(times))
+	for _, x := range times {
+		double = append(double, x, x)
+	}
+	ref := []float64{3, 1, 5}
+	if _, err := RateVector(double, 0, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := Pearson(base, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDouble, err := Pearson(got, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rBase-rDouble) > 1e-12 {
+		t.Errorf("uniform duplication moved the correlation: %v != %v", rDouble, rBase)
+	}
+}
+
+func TestPearsonMasked(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 9}
+	b := []float64{2, 4, 6, 8, 10, -7}
+	all := []bool{true, true, true, true, true, true}
+	if r, _ := PearsonMasked(a, b, all); r == 1 {
+		t.Error("full mask should include the discordant tail")
+	}
+	head := []bool{true, true, true, true, true, false}
+	if r, _ := PearsonMasked(a, b, head); math.Abs(r-1) > 1e-12 {
+		t.Errorf("masked head is perfectly linear: r = %v", r)
+	}
+	// Agreement with Pearson on the selected subset.
+	direct, err := Pearson(a[:5], b[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := PearsonMasked(a, b, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(masked-direct) > 1e-12 {
+		t.Errorf("masked = %v, subset Pearson = %v", masked, direct)
+	}
+	// Degenerate selections: fewer than two indices, or a constant side.
+	one := []bool{true, false, false, false, false, false}
+	if r, _ := PearsonMasked(a, b, one); r != 0 {
+		t.Errorf("single selected index: r = %v, want 0", r)
+	}
+	flat := []float64{7, 7, 7, 7, 7, 7}
+	if r, _ := PearsonMasked(a, flat, head); r != 0 {
+		t.Errorf("constant selected side: r = %v, want 0", r)
+	}
+	if _, err := PearsonMasked(a, b, all[:3]); err == nil {
+		t.Error("mask length mismatch should fail")
+	}
+	if _, err := PearsonMasked(nil, nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+// TestPearsonMaskedRemovesChurnSignature is the scenario the mask exists
+// for: two flows with independent payload fluctuations share an on/off
+// presence signature. Unmasked, the shared dark windows dominate and the
+// flows correlate spuriously; masking the dark windows leaves only the
+// (uncorrelated) payload signal.
+func TestPearsonMaskedRemovesChurnSignature(t *testing.T) {
+	rng := xrand.New(33)
+	const n = 400
+	a := make([]float64, n)
+	b := make([]float64, n)
+	mask := make([]bool, n)
+	for i := range a {
+		up := i%20 < 10 // the shared churn cycle: both dark together
+		mask[i] = up
+		if up {
+			a[i] = 50 + 10*rng.Float64()
+			b[i] = 50 + 10*rng.Float64()
+		}
+	}
+	raw, err := Pearson(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := PearsonMasked(a, b, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw < 0.8 {
+		t.Fatalf("shared churn signature should dominate the raw correlation, got %v", raw)
+	}
+	if math.Abs(masked) > 0.2 {
+		t.Errorf("masked correlation %v should be near 0 for independent payloads", masked)
+	}
+}

@@ -256,6 +256,8 @@ func (s *System) activeFlow(spec ActiveSpec, class, flow int, watermarked bool) 
 	case ActiveCascade:
 		stream, probes, err := s.hopChain(spec.Hops, src, func(h int) *xrand.Rand {
 			return s.activeRand(spec.Protocol, class, flow, h, activeRoleHop)
+		}, func(h int) *xrand.Rand {
+			return s.activeRand(spec.Protocol, class, flow, h, activeRoleOutage)
 		}, nil)
 		if err != nil {
 			return nil, err

@@ -67,6 +67,46 @@ type CascadeHop struct {
 	// Link, when non-nil, is the hop's outgoing router link; nil means a
 	// dedicated (zero cross traffic) link.
 	Link *HopSpec
+	// Outage, when non-nil, puts the hop on a seeded failure/recovery
+	// schedule: the hop goes dark for exponential intervals and packets
+	// that would depart while it is dark follow the spec's recovery
+	// policy. The schedule draws from its own role stream, so attaching
+	// an outage does not perturb the hop's padding realization.
+	Outage *OutageSpec
+}
+
+// OutageSpec describes one hop's failure/recovery process and the entry
+// gateway's reaction to it — the reaction is the measurable leak.
+type OutageSpec struct {
+	// MeanUp and MeanDown are the mean exponential up/down durations in
+	// seconds (both positive).
+	MeanUp, MeanDown float64
+	// Backoff, when positive, selects the retry policy: packets hitting a
+	// dark hop retry at exponentially growing offsets (Backoff, 2·Backoff,
+	// 4·Backoff, ...) until an attempt lands in an up interval. Zero with
+	// SpareDelay zero means packets depart at the recovery instant.
+	Backoff float64
+	// SpareDelay, when positive, selects failover instead: packets divert
+	// to a spare route and arrive SpareDelay later. Mutually exclusive
+	// with Backoff.
+	SpareDelay float64
+}
+
+// Validate checks the outage parameters.
+func (o *OutageSpec) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if !(o.MeanUp > 0) || !(o.MeanDown > 0) {
+		return errors.New("core: outage mean up/down durations must be positive")
+	}
+	if o.Backoff < 0 || o.SpareDelay < 0 {
+		return errors.New("core: outage backoff and spare delay must be non-negative")
+	}
+	if o.Backoff > 0 && o.SpareDelay > 0 {
+		return errors.New("core: outage backoff and spare failover are mutually exclusive")
+	}
+	return nil
 }
 
 // CascadeSpec describes a multi-hop route topology layered on the
@@ -148,6 +188,9 @@ func (s *System) validateHops(hops []CascadeHop) error {
 				return fmt.Errorf("core: cascade hop %d has negative propagation delay", i)
 			}
 		}
+		if err := h.Outage.Validate(); err != nil {
+			return fmt.Errorf("core: cascade hop %d: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -171,9 +214,14 @@ func (s *System) hopTau(h CascadeHop) float64 {
 func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (*cascade.Route, error) {
 	var rec *cascade.Recorder
 	var entryTap func(float64)
+	var err error
 	if withEntry {
 		rec = &cascade.Recorder{}
-		entryTap = rec.Record
+		entryTap, err = s.entryTapWrap(rec.Record, class,
+			cascadeStreamID(flow, 0, cascadeRoleEntryTap))
+		if err != nil {
+			return nil, err
+		}
 	}
 	payload, err := s.payloadSource(class,
 		xrand.New(s.streamSeed(class, cascadeStreamID(flow, 0, cascadeRolePayload))))
@@ -182,6 +230,8 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 	}
 	stream, probes, err := s.hopChain(spec.Hops, payload, func(h int) *xrand.Rand {
 		return xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleHop)))
+	}, func(h int) *xrand.Rand {
+		return xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleOutage)))
 	}, entryTap)
 	if err != nil {
 		return nil, err
@@ -205,10 +255,12 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 // payload. An empty hop list degenerates to the unpadded passthrough.
 // hopMaster supplies hop h's RNG, so the cascade and active protocols
 // can drive the same construction from their own stream domains;
-// entryTap, when non-nil, observes the first stage's payload arrivals.
-// It returns the last stage's departure stream and one overhead probe
-// per hop.
-func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster func(h int) *xrand.Rand, entryTap func(float64)) (netem.TimeStream, []cascade.HopProbe, error) {
+// outageRng supplies hop h's failure-schedule RNG (consulted only for
+// hops that carry an Outage spec, so outage-free chains draw nothing
+// from it); entryTap, when non-nil, observes the first stage's payload
+// arrivals. It returns the last stage's departure stream and one
+// overhead probe per hop.
+func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster func(h int) *xrand.Rand, outageRng func(h int) *xrand.Rand, entryTap func(float64)) (netem.TimeStream, []cascade.HopProbe, error) {
 	var stream netem.TimeStream
 	var probes []cascade.HopProbe
 	var err error
@@ -288,6 +340,16 @@ func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster f
 			if hop.Link != nil {
 				stream, err = netem.NewFastRouter(stream, hop.Link.service(),
 					netem.DiurnalUtil(hop.Link.Util, s.cfg.StartHour), hop.Link.PropDelay, master.Split())
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if hop.Outage != nil {
+				sched, err := traffic.NewOnOffSchedule(hop.Outage.MeanUp, hop.Outage.MeanDown, outageRng(h))
+				if err != nil {
+					return nil, nil, err
+				}
+				stream, err = netem.NewOutageStream(stream, sched, hop.Outage.Backoff, hop.Outage.SpareDelay)
 				if err != nil {
 					return nil, nil, err
 				}

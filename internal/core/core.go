@@ -121,6 +121,20 @@ type Config struct {
 	TapLossProb float64
 	// TapResolution quantizes tap timestamps (0 = perfect clock).
 	TapResolution float64
+	// PathImpair, when enabled, impairs the forward path after the router
+	// hops: packets really are lost, duplicated or displaced before any
+	// tap sees them. Applies to every observation protocol that crosses
+	// the shared observation chain.
+	PathImpair *netem.Impairment
+	// TapImpair, when enabled, impairs the adversary's exit capture after
+	// the tap-loss and quantization stages: the wire is untouched, the
+	// recording is not.
+	TapImpair *netem.Impairment
+	// EntryTapImpair, when enabled, impairs the adversary's ingress taps
+	// (the cascade entry recorder and the population ingress view): those
+	// vantage points miss, double-record or mis-order observations
+	// independently of the exit capture.
+	EntryTapImpair *netem.Impairment
 	// Seed is the master seed; all streams derive from it.
 	Seed uint64
 }
@@ -209,6 +223,18 @@ func (c Config) Validate() error {
 	}
 	if c.TapResolution < 0 {
 		return errors.New("core: tap resolution must be non-negative")
+	}
+	for _, im := range []struct {
+		name string
+		im   *netem.Impairment
+	}{
+		{"PathImpair", c.PathImpair},
+		{"TapImpair", c.TapImpair},
+		{"EntryTapImpair", c.EntryTapImpair},
+	} {
+		if err := im.im.Validate(); err != nil {
+			return fmt.Errorf("core: %s: %w", im.name, err)
+		}
 	}
 	if c.StartHour < 0 || c.StartHour >= 24 {
 		return errors.New("core: start hour must be in [0,24)")
@@ -398,8 +424,11 @@ func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 // observationChain layers the unprotected network path and the tap
 // imperfections over a padded departure stream, in the fixed order every
 // observation protocol shares: hops (exact routers or the stationary
-// sampler), then capture loss, then clock quantization. All randomness
-// is drawn from master in that order.
+// sampler), then the forward-path impairment, then capture loss, then
+// clock quantization, then the capture impairment. All randomness is
+// drawn from master in that order; disabled stages draw nothing, so a
+// configuration without impairments reproduces the pre-fault-model
+// streams bit for bit.
 func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (netem.TimeStream, error) {
 	var err error
 	switch {
@@ -432,6 +461,12 @@ func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (
 			return nil, err
 		}
 	}
+	if s.cfg.PathImpair.Enabled() {
+		stream, err = netem.NewImpairer(stream, s.cfg.PathImpair, master.Split())
+		if err != nil {
+			return nil, err
+		}
+	}
 	if s.cfg.TapLossProb > 0 {
 		stream, err = netem.NewLossyTap(stream, s.cfg.TapLossProb, master.Split())
 		if err != nil {
@@ -444,7 +479,24 @@ func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (
 			return nil, err
 		}
 	}
+	if s.cfg.TapImpair.Enabled() {
+		stream, err = netem.NewImpairer(stream, s.cfg.TapImpair, master.Split())
+		if err != nil {
+			return nil, err
+		}
+	}
 	return stream, nil
+}
+
+// entryTapWrap impairs an ingress-tap record callback with the system's
+// entry-tap impairment; the RNG is derived lazily from the given role
+// stream seed only when the impairment is enabled, so baseline
+// configurations construct nothing and stay bit-identical.
+func (s *System) entryTapWrap(record func(float64), class int, streamID uint64) (func(float64), error) {
+	if record == nil || !s.cfg.EntryTapImpair.Enabled() {
+		return record, nil
+	}
+	return s.cfg.EntryTapImpair.WrapRecord(record, xrand.New(s.streamSeed(class, streamID)))
 }
 
 // AttackConfig describes one adversary experiment against the system.

@@ -94,6 +94,15 @@ const (
 	// popRoleLink drives the user's padded-link chain (gateway jitter,
 	// timer policy, network path) for per-flow observations.
 	popRoleLink
+	// popRoleChurn drives the user's presence (join/leave) schedule under
+	// population churn. The schedule is a pure function of this stream,
+	// which is what lets checkpoint/resume rebuild it without serializing
+	// any schedule state.
+	popRoleChurn
+	// popRoleTap drives the adversary's ingress-tap impairment for the
+	// user's flow (per-flow observations only; the round-based engine has
+	// no packet-level ingress tap).
+	popRoleTap
 )
 
 // windowStreamID derives the stream replica ID for trial window w of the
@@ -127,6 +136,14 @@ const (
 	// cascadeRoleExit drives the exit observation chain (the system-level
 	// network path and tap imperfections past the last hop).
 	cascadeRoleExit
+	// cascadeRoleEntryTap drives the adversary's entry-recorder impairment
+	// (hop 0 only).
+	cascadeRoleEntryTap
+	// cascadeRoleOutage drives one hop's failure/recovery schedule. A
+	// separate role — rather than a split off cascadeRoleHop — keeps the
+	// hop's padding realization identical with and without an outage
+	// schedule attached, so outage sweeps perturb only the outage.
+	cascadeRoleOutage
 )
 
 // cascadeStreamID derives the stream ID of one role stream of cascade
@@ -161,6 +178,9 @@ const (
 	// activeRoleDecoy derives the adversary's decoy keys (flow = decoy
 	// index, class 0).
 	activeRoleDecoy
+	// activeRoleOutage drives one hop's failure/recovery schedule on
+	// active cascade routes, mirroring cascadeRoleOutage.
+	activeRoleOutage
 )
 
 // activeStreamID derives the stream ID of one role stream of active

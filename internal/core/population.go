@@ -51,6 +51,34 @@ type PopulationSpec struct {
 	// (len(Rates) entries, positive); nil means equal shares. Users are
 	// striped deterministically: user u's class is fixed by u alone.
 	ClassMix []float64
+	// Churn gives every user a seeded presence schedule: alternating
+	// exponential online/offline periods drawn from the user's
+	// popRoleChurn stream. An offline user sends nothing (round engine)
+	// and its padded link goes dark (flow observations). Nil means a
+	// static population.
+	Churn *ChurnSpec
+}
+
+// ChurnSpec describes population churn: users alternate between online
+// periods of mean MeanOn seconds and offline periods of mean MeanOff
+// seconds, independently per user. The stationary fraction of the
+// population online is MeanOn/(MeanOn+MeanOff).
+type ChurnSpec struct {
+	// MeanOn is the mean online-period duration in seconds (positive).
+	MeanOn float64
+	// MeanOff is the mean offline-period duration in seconds (positive).
+	MeanOff float64
+}
+
+// Validate checks the churn parameters.
+func (c *ChurnSpec) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if !(c.MeanOn > 0) || !(c.MeanOff > 0) {
+		return errors.New("core: churn mean on/off durations must be positive")
+	}
+	return nil
 }
 
 // withDefaults fills zero fields.
@@ -84,6 +112,9 @@ func (s *System) validatePopulation(spec PopulationSpec) error {
 	}
 	if spec.CoverRate > 0 && spec.CoverToPPS > 0 {
 		return errors.New("core: CoverRate and CoverToPPS are mutually exclusive")
+	}
+	if err := spec.Churn.Validate(); err != nil {
+		return err
 	}
 	return s.validateClassMix(spec.ClassMix)
 }
@@ -184,6 +215,10 @@ func (s *System) NewPopulation(spec PopulationSpec) (*population.Engine, error) 
 		if err != nil {
 			return nil, err
 		}
+		presence, err := s.presenceSchedule(spec, class, u)
+		if err != nil {
+			return nil, err
+		}
 		// The profile construction consumed a prefix of the role stream;
 		// the same stream continues as the user's per-message recipient
 		// draws, keeping every draw a function of (seed, class, userID).
@@ -193,9 +228,22 @@ func (s *System) NewPopulation(spec PopulationSpec) (*population.Engine, error) 
 			Cover:    cover,
 			Profile:  profile,
 			RNG:      prng,
+			Presence: presence,
 		}
 	}
 	return population.NewEngine(users, spec.Recipients)
+}
+
+// presenceSchedule builds user u's churn presence schedule from its
+// popRoleChurn stream, or nil for a static population. The schedule is a
+// pure function of (seed, class, userID), so rebuilding the population
+// reproduces it exactly — checkpoints never serialize it.
+func (s *System) presenceSchedule(spec PopulationSpec, class, user int) (*traffic.OnOffSchedule, error) {
+	if spec.Churn == nil {
+		return nil, nil
+	}
+	return traffic.NewOnOffSchedule(spec.Churn.MeanOn, spec.Churn.MeanOff,
+		xrand.New(s.streamSeed(class, populationStreamID(user, popRoleChurn))))
 }
 
 // RunDisclosure runs the round-based statistical disclosure attack
@@ -235,6 +283,11 @@ type FlowCorrConfig struct {
 	// Raw bypasses the padding entirely — the egress flow is the raw
 	// payload stream — as the no-countermeasure baseline.
 	Raw bool
+	// MaskAbsent makes the rate correlation churn-aware: correlations are
+	// computed only over windows where the egress flow emitted (see
+	// population.FlowCorrConfig.MaskAbsent). Meaningful only with
+	// PopulationSpec.Churn.
+	MaskAbsent bool
 	// Workers bounds the per-user/per-window parallelism; results are
 	// identical at any width. Zero means all CPUs.
 	Workers int
@@ -276,9 +329,13 @@ func (l *rawLink) Next() float64 {
 // flowLink assembles one population user link: the user's merged
 // payload+cover stream entering the system's padding policy and the
 // shared observation chain (padStream), with an optional ingress tap
-// observing the merged arrivals before the padding. All randomness comes
-// from master, so a link is deterministic from its stream seed.
-func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, error) {
+// observing the merged arrivals before the padding. Under churn the
+// user's presence schedule gates both sides: offline periods generate no
+// ingress arrivals (the sender is away) and emit no egress packets (the
+// padded link itself is down, so even timer-driven dummies stop). All
+// randomness comes from master, so a link is deterministic from its
+// stream seed; the presence schedule rides its own role stream.
+func (s *System) flowLink(spec PopulationSpec, class int, raw bool, presence *traffic.OnOffSchedule, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, error) {
 	payload, err := s.payloadSource(class, master.Split())
 	if err != nil {
 		return nil, err
@@ -294,8 +351,23 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, master *xran
 			return nil, err
 		}
 	}
+	if presence != nil {
+		src, err = traffic.NewGated(src, presence)
+		if err != nil {
+			return nil, err
+		}
+	}
 	stream, _, err := s.padStream(src, raw, master, tap)
-	return stream, err
+	if err != nil {
+		return nil, err
+	}
+	if presence != nil {
+		stream, err = netem.NewGateStream(stream, presence)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stream, nil
 }
 
 // padStream routes an arbitrary arrival process through the system's
@@ -406,9 +478,17 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 	classifiers, exts, err := s.trainExitClassifiers(cfg.Features,
 		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
 		func(class, w int) (adversary.PIATSource, error) {
+			phantom := phantomUserBase + class*cfg.TrainWindows + w
 			master := xrand.New(s.streamSeed(class,
-				populationStreamID(phantomUserBase+class*cfg.TrainWindows+w, popRoleLink)))
-			link, err := s.flowLink(spec, class, cfg.Raw, master, nil)
+				populationStreamID(phantom, popRoleLink)))
+			// Training flows churn exactly as run-time flows do (their own
+			// presence realizations), so the classifiers are trained on the
+			// gap structure they will be asked to classify.
+			presence, err := s.presenceSchedule(spec, class, phantom)
+			if err != nil {
+				return nil, err
+			}
+			link, err := s.flowLink(spec, class, cfg.Raw, presence, master, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -423,11 +503,23 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 		class := classOf(u, spec.Users, cum)
 		master := xrand.New(s.streamSeed(class, populationStreamID(u, popRoleLink)))
 		flow := &population.Flow{Class: class}
-		link, err := s.flowLink(spec, class, cfg.Raw, master, func(t float64) {
+		presence, err := s.presenceSchedule(spec, class, u)
+		if err != nil {
+			return nil, err
+		}
+		// The ingress tap is the adversary's entry recorder; an impaired
+		// tap (EntryTapImpair) observes it through per-flow loss/dup/
+		// reordering on the flow's popRoleTap stream.
+		tap := func(t float64) {
 			if t <= duration {
 				flow.Ingress = append(flow.Ingress, t)
 			}
-		})
+		}
+		tap, err = s.entryTapWrap(tap, class, populationStreamID(u, popRoleTap))
+		if err != nil {
+			return nil, err
+		}
+		link, err := s.flowLink(spec, class, cfg.Raw, presence, master, tap)
 		if err != nil {
 			return nil, err
 		}
@@ -447,6 +539,7 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 		FeatureWindow: cfg.FeatureWindow,
 		Classifiers:   classifiers,
 		Extractors:    exts,
+		MaskAbsent:    cfg.MaskAbsent,
 		Workers:       cfg.Workers,
 	})
 }

@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"linkpad/internal/xrand"
+)
+
+// fakeCells is a cheap synthetic cell experiment for exercising the
+// checkpoint machinery without simulator cost. It is run through
+// runCells directly, never registered, so the registry stays fixed.
+var fakeCells = &cellExperiment{
+	title:   "synthetic checkpoint probe",
+	columns: []string{"cell", "value"},
+	ncells:  func(Options) int { return 9 },
+	run: func(o Options, cell, nested int) ([]float64, error) {
+		rng := xrand.New(o.Seed + uint64(cell)*1009)
+		return []float64{float64(cell), rng.Float64()}, nil
+	},
+	notes: func(o Options, t *Table) { t.Notef("seed %d", o.Seed) },
+}
+
+func tableBytes(t *testing.T, tbl *Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointable(t *testing.T) {
+	for _, id := range []string{"ext-disclosure", "ext-impairments", "ablation-churn"} {
+		if !Checkpointable(id) {
+			t.Errorf("%s should be checkpointable", id)
+		}
+	}
+	if Checkpointable("fig4b") {
+		t.Error("fig4b is not a cell experiment")
+	}
+	if _, err := RunCheckpointed("fig4b", fastOpts, "x.json", 0); err == nil {
+		t.Error("RunCheckpointed should reject a non-cell experiment")
+	}
+	if _, err := RunCheckpointed("ext-disclosure", fastOpts, "", 0); err == nil {
+		t.Error("RunCheckpointed should reject an empty path")
+	}
+}
+
+// TestRunCellsKillAndResume: kill the synthetic sweep at several budgets,
+// resume each time, and demand the finished table be byte-identical to
+// an uninterrupted run — including across a worker-width change.
+func TestRunCellsKillAndResume(t *testing.T) {
+	o := Options{Scale: 1, Seed: 11, Workers: 1}
+	plain, err := runCells("fake", fakeCells, o, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableBytes(t, plain)
+	for _, killAfter := range []int{1, 4, 8} {
+		path := filepath.Join(t.TempDir(), "cp.json")
+		_, err := runCells("fake", fakeCells, o, path, killAfter)
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("killAfter %d: want ErrKilled, got %v", killAfter, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("no checkpoint persisted before the kill: %v", err)
+		}
+		cp, err := ParseCheckpoint(data)
+		if err != nil {
+			t.Fatalf("persisted checkpoint does not parse: %v", err)
+		}
+		done := 0
+		for _, d := range cp.Done {
+			if d {
+				done++
+			}
+		}
+		if done < killAfter {
+			t.Fatalf("checkpoint records %d done cells, killed after %d", done, killAfter)
+		}
+		// Resume at a different worker width; results must not care.
+		wide := o
+		wide.Workers = 3
+		tbl, err := runCells("fake", fakeCells, wide, path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tableBytes(t, tbl), want) {
+			t.Fatalf("killAfter %d: resumed table differs from uninterrupted run", killAfter)
+		}
+	}
+	// A double kill composes: kill at 2, resume and kill at 3 more, then
+	// finish.
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if _, err := runCells("fake", fakeCells, o, path, 2); !errors.Is(err, ErrKilled) {
+		t.Fatalf("first kill: %v", err)
+	}
+	if _, err := runCells("fake", fakeCells, o, path, 3); !errors.Is(err, ErrKilled) {
+		t.Fatalf("second kill: %v", err)
+	}
+	tbl, err := runCells("fake", fakeCells, o, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tableBytes(t, tbl), want) {
+		t.Fatal("twice-killed table differs from uninterrupted run")
+	}
+	// A completed checkpoint short-circuits: running again recomputes
+	// nothing and still yields the same bytes.
+	again, err := runCells("fake", fakeCells, o, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tableBytes(t, again), want) {
+		t.Fatal("re-running a completed checkpoint changed the table")
+	}
+}
+
+func TestRunCellsRejectsForeignCheckpoint(t *testing.T) {
+	o := Options{Scale: 1, Seed: 11, Workers: 1}
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if _, err := runCells("fake", fakeCells, o, path, 2); !errors.Is(err, ErrKilled) {
+		t.Fatal(err)
+	}
+	other := o
+	other.Seed = 12
+	if _, err := runCells("fake", fakeCells, other, path, 0); err == nil {
+		t.Error("checkpoint resumed under a different seed")
+	}
+	other = o
+	other.Scale = 2
+	if _, err := runCells("fake", fakeCells, other, path, 0); err == nil {
+		t.Error("checkpoint resumed under a different scale")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCells("fake", fakeCells, o, path, 0); err == nil {
+		t.Error("corrupt checkpoint resumed")
+	}
+}
+
+func TestParseCheckpoint(t *testing.T) {
+	good := &Checkpoint{
+		Experiment: "fake",
+		Seed:       3,
+		Scale:      0.5,
+		Cells:      2,
+		Done:       []bool{true, false},
+		Rows:       [][]float64{{1, 2}, nil},
+	}
+	data, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, good) {
+		t.Fatalf("round trip changed the checkpoint: %+v", parsed)
+	}
+	bad := []string{
+		`{"experiment":"x","seed":1,"scale":1,"cells":1,"done":[true],"rows":[[1]],"extra":0}`, // unknown field
+		`{"experiment":"x","seed":1,"scale":1,"cells":1,"done":[true],"rows":[[1]]} tail`,      // trailing data
+		`{"experiment":"","seed":1,"scale":1,"cells":1,"done":[true],"rows":[[1]]}`,            // no experiment
+		`{"experiment":"x","seed":0,"scale":1,"cells":1,"done":[true],"rows":[[1]]}`,           // zero seed
+		`{"experiment":"x","seed":1,"scale":0,"cells":1,"done":[true],"rows":[[1]]}`,           // zero scale
+		`{"experiment":"x","seed":1,"scale":1,"cells":0,"done":[],"rows":[]}`,                  // no cells
+		`{"experiment":"x","seed":1,"scale":1,"cells":2097152,"done":[],"rows":[]}`,            // absurd cells
+		`{"experiment":"x","seed":1,"scale":1,"cells":2,"done":[true],"rows":[[1]]}`,           // shape mismatch
+		`{"experiment":"x","seed":1,"scale":1,"cells":1,"done":[true],"rows":[[]]}`,            // done without row
+		`{"experiment":"x","seed":1,"scale":1,"cells":1,"done":[false],"rows":[[1]]}`,          // row without done
+		`[1,2]`,
+		``,
+	}
+	for _, s := range bad {
+		if _, err := ParseCheckpoint([]byte(s)); err == nil {
+			t.Errorf("ParseCheckpoint(%q) should fail", s)
+		}
+	}
+}
+
+// FuzzParseCheckpoint: arbitrary bytes must parse or error cleanly; a
+// successful parse must validate and survive a re-encode round trip.
+func FuzzParseCheckpoint(f *testing.F) {
+	f.Add([]byte(`{"experiment":"fake","seed":3,"scale":0.5,"cells":2,"done":[true,false],"rows":[[1,2],null]}`))
+	f.Add([]byte(`{"experiment":"ext-disclosure","seed":1,"scale":1,"cells":1,"done":[true],"rows":[[0.5]]}`))
+	f.Add([]byte(`{"experiment":"x","seed":1,"scale":1e-300,"cells":1,"done":[false],"rows":[null]}`))
+	f.Add([]byte(`{"experiment":"x","seed":18446744073709551615,"cells":1}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := ParseCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("parsed checkpoint fails validation: %v", err)
+		}
+		data2, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatalf("re-encoding a parsed checkpoint failed: %v", err)
+		}
+		again, err := ParseCheckpoint(data2)
+		if err != nil {
+			t.Fatalf("re-parsing an encoded checkpoint failed: %v", err)
+		}
+		if again.Experiment != cp.Experiment || again.Seed != cp.Seed ||
+			again.Scale != cp.Scale || again.Cells != cp.Cells {
+			t.Fatal("round trip changed the checkpoint identity")
+		}
+	})
+}
+
+// faultOpts runs the fault runners at the golden gate's cheap settings.
+var faultOpts = Options{Scale: 0.05, Seed: 3}
+
+func TestExtImpairmentsShape(t *testing.T) {
+	tbl, err := Run("ext-impairments", faultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 18 {
+		t.Fatalf("got %d rows, want 18 (3 protocols x 6 scenarios)", len(tbl.Rows))
+	}
+	acc := col(tbl, "accuracy")
+	anon := col(tbl, "anonymity")
+	loss := col(tbl, "tap_loss")
+	for i := range acc {
+		if acc[i] < 0 || acc[i] > 1 {
+			t.Errorf("row %d: accuracy %v out of [0,1]", i, acc[i])
+		}
+		if anon[i] < 0 || anon[i] > 1 {
+			t.Errorf("row %d: anonymity %v out of [0,1]", i, anon[i])
+		}
+		if loss[i] < 0 || loss[i] >= 1 {
+			t.Errorf("row %d: tap loss %v out of range", i, loss[i])
+		}
+	}
+	// Scenario 0 of each protocol is the clean anchor: zero tap loss.
+	for p := 0; p < 3; p++ {
+		if loss[p*6] != 0 {
+			t.Errorf("protocol %d clean scenario reports tap loss %v", p, loss[p*6])
+		}
+	}
+}
+
+func TestAblationChurnShape(t *testing.T) {
+	tbl, err := Run("ablation-churn", faultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8 (4 fractions x 2 estimators)", len(tbl.Rows))
+	}
+	frac := col(tbl, "online_frac")
+	aware := col(tbl, "churn_aware")
+	disclosed := col(tbl, "disclosed_frac")
+	rounds := col(tbl, "mean_rounds")
+	for i := range frac {
+		if disclosed[i] < 0 || disclosed[i] > 1 {
+			t.Errorf("row %d: disclosed fraction %v out of [0,1]", i, disclosed[i])
+		}
+		if rounds[i] <= 0 {
+			t.Errorf("row %d: non-positive mean rounds %v", i, rounds[i])
+		}
+	}
+	// The static rows (online fraction 1) must be estimator-invariant:
+	// with no churn there is nothing to mask, so naive and churn-aware
+	// are the same estimator.
+	var static [][]float64
+	for i, f := range frac {
+		if f == 1 {
+			static = append(static, tbl.Rows[i])
+		}
+	}
+	if len(static) != 2 {
+		t.Fatalf("want 2 static rows, got %d", len(static))
+	}
+	for j := range static[0] {
+		if j == 1 {
+			continue // the churn_aware code itself differs
+		}
+		if static[0][j] != static[1][j] {
+			t.Errorf("static rows differ in column %d: %v != %v (aware %v/%v)",
+				j, static[0][j], static[1][j], aware[0], aware[1])
+		}
+	}
+}

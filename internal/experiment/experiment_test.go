@@ -50,14 +50,14 @@ func col(tbl *Table, name string) []float64 {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"ablation-binwidth", "ablation-crossmodel",
-		"ablation-hop-policies", "ablation-payload",
+	want := []string{"ablation-binwidth", "ablation-churn",
+		"ablation-crossmodel", "ablation-hop-policies", "ablation-payload",
 		"ablation-population-padding", "ablation-tap", "ablation-theorygap",
 		"ablation-training", "ablation-watermark-defenses",
 		"ablation-windowing", "baseline-policies", "ext-active",
-		"ext-cascade", "ext-disclosure", "ext-features", "ext-online",
-		"ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig8a",
-		"fig8b", "multirate", "validate-exactnet"}
+		"ext-cascade", "ext-disclosure", "ext-features", "ext-impairments",
+		"ext-online", "ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b",
+		"fig6", "fig8a", "fig8b", "multirate", "validate-exactnet"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %v, want %v", names, want)
 	}

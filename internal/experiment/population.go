@@ -7,7 +7,7 @@ import (
 )
 
 func init() {
-	register("ext-disclosure", ExtDisclosure)
+	registerCells("ext-disclosure", extDisclosureCells)
 	register("ablation-population-padding", AblationPopulationPadding)
 }
 
@@ -24,75 +24,69 @@ func disclosureRounds(o Options) int {
 	return r
 }
 
-// ExtDisclosure measures the statistical disclosure attack against the
-// shared batching mix: rounds-to-disclosure (how many mix rounds until
-// the adversary identifies a target's contact set) as a function of the
-// population size and the cover-traffic rate. Cover traffic is the
-// population-scale analogue of link padding — dummy messages at a
+// disclosurePopulations and disclosureCovers span the ext-disclosure
+// sweep grid; cell i is (population i/len(covers), cover i%len(covers)).
+var (
+	disclosurePopulations = []int{24, 48, 96}
+	disclosureCovers      = []float64{0, 1, 2, 4}
+)
+
+// extDisclosureCells measures the statistical disclosure attack against
+// the shared batching mix: rounds-to-disclosure (how many mix rounds
+// until the adversary identifies a target's contact set) as a function
+// of the population size and the cover-traffic rate. Cover traffic is
+// the population-scale analogue of link padding — dummy messages at a
 // multiple of each user's payload rate, delivered to random recipients —
 // and it resists SDA twice over: the target's observable sends carry
 // less real signal and everyone else's dummies brighten the background.
 // Rounds-to-disclosure grows monotonically with the cover rate at every
 // population size; larger populations are also slower to disclose (the
-// target appears in fewer rounds).
-func ExtDisclosure(o Options) (*Table, error) {
-	o = o.withDefaults()
-	sys, err := core.NewSystem(labConfig(o))
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		ID:    "ext-disclosure",
-		Title: "Statistical disclosure against the population mix: rounds-to-disclosure vs population size and cover rate",
-		Columns: []string{"users", "cover", "disclosed_frac", "mean_rounds",
-			"mean_rounds_with", "mean_anonymity"},
-	}
-	populations := []int{24, 48, 96}
-	covers := []float64{0, 1, 2, 4}
-	maxRounds := disclosureRounds(o)
-	type cellKey struct{ pi, ci int }
-	cells := make([]cellKey, 0, len(populations)*len(covers))
-	for pi := range populations {
-		for ci := range covers {
-			cells = append(cells, cellKey{pi, ci})
+// target appears in fewer rounds). Registered as a cell experiment:
+// every (population, cover) cell is a pure function of (Options, cell),
+// which is what lets linkpadsim checkpoint and resume the sweep.
+var extDisclosureCells = &cellExperiment{
+	title: "Statistical disclosure against the population mix: rounds-to-disclosure vs population size and cover rate",
+	columns: []string{"users", "cover", "disclosed_frac", "mean_rounds",
+		"mean_rounds_with", "mean_anonymity"},
+	ncells: func(Options) int { return len(disclosurePopulations) * len(disclosureCovers) },
+	run: func(o Options, cell, nested int) ([]float64, error) {
+		sys, err := core.NewSystem(labConfig(o))
+		if err != nil {
+			return nil, err
 		}
-	}
-	rows := make([][]float64, len(cells))
-	err = parMap(len(cells), o.workers(), func(i int) error {
-		n, cover := populations[cells[i].pi], covers[cells[i].ci]
+		n := disclosurePopulations[cell/len(disclosureCovers)]
+		cover := disclosureCovers[cell%len(disclosureCovers)]
 		res, err := sys.RunDisclosure(core.PopulationSpec{
 			Users:      n,
 			Recipients: 60,
 			CoverRate:  cover,
 		}, population.DisclosureConfig{
-			MaxRounds: maxRounds,
-			Workers:   o.nestedWorkers(len(cells)),
+			MaxRounds: disclosureRounds(o),
+			Workers:   nested,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var roundsWith float64
 		for _, tg := range res.Targets {
 			roundsWith += float64(tg.RoundsWith)
 		}
 		roundsWith /= float64(len(res.Targets))
-		rows[i] = []float64{float64(n), cover, res.DisclosedFrac, res.MeanRounds,
-			roundsWith, res.MeanAnonymity}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, row := range rows {
-		if err := t.AddRow(row...); err != nil {
-			return nil, err
-		}
-	}
-	t.Notef("batch 8, 60 recipients, 3 contacts/user at weight 0.7, 8 targets spread over the population")
-	t.Notef("budget %d rounds; undisclosed targets censor mean_rounds at the budget", maxRounds)
-	t.Notef("cover = dummy rate as a multiple of the user's payload rate; dummies go to uniform recipients")
-	t.Notef("mean_anonymity: normalized entropy of the adversary's final recipient estimate (1 = uniform)")
-	return t, nil
+		return []float64{float64(n), cover, res.DisclosedFrac, res.MeanRounds,
+			roundsWith, res.MeanAnonymity}, nil
+	},
+	notes: func(o Options, t *Table) {
+		t.Notef("batch 8, 60 recipients, 3 contacts/user at weight 0.7, 8 targets spread over the population")
+		t.Notef("budget %d rounds; undisclosed targets censor mean_rounds at the budget", disclosureRounds(o))
+		t.Notef("cover = dummy rate as a multiple of the user's payload rate; dummies go to uniform recipients")
+		t.Notef("mean_anonymity: normalized entropy of the adversary's final recipient estimate (1 = uniform)")
+	},
+}
+
+// ExtDisclosure runs the ext-disclosure sweep without checkpointing;
+// see extDisclosureCells.
+func ExtDisclosure(o Options) (*Table, error) {
+	return runCells("ext-disclosure", extDisclosureCells, o, "", 0)
 }
 
 // AblationPopulationPadding compares the padding policies at matched

@@ -1,0 +1,231 @@
+package population
+
+import (
+	"errors"
+	"fmt"
+
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// Checkpoint/resume (checkpoint.go): serializable snapshots of the
+// population engine and of a disclosure run in progress.
+//
+// The design leans on the repository's determinism discipline to keep
+// snapshots small: everything that is a pure function of a stream seed —
+// user classes, recipient profiles, churn schedules, slab sizing — is
+// *rebuilt* from the system description on resume, never serialized.
+// What a snapshot carries is only the mutable cursor state: each user's
+// source state and generation cursor, the unconsumed remainder of the
+// merged event queue, and (for a disclosure run) the per-target
+// estimator accumulators. Resuming a snapshot on a freshly rebuilt,
+// identically configured engine continues the run byte-identically to
+// one that was never interrupted; the kill-and-resume tests enforce
+// this at randomized kill points.
+//
+// All types marshal with encoding/json. Snapshots validate on restore —
+// a snapshot from a differently shaped population (user count, recipient
+// space, target list) is rejected rather than silently misapplied.
+
+// EventState is one queued event in an engine snapshot.
+type EventState struct {
+	T     float64 `json:"t"`
+	User  int32   `json:"user"`
+	Rcpt  int32   `json:"rcpt"`
+	Dummy bool    `json:"dummy,omitempty"`
+}
+
+// UserEngineState is one user's generation cursor in an engine snapshot.
+type UserEngineState struct {
+	// Sup is the user's merged payload+cover source state.
+	Sup traffic.SourceState `json:"sup"`
+	// NextT is the absolute time of the user's pending (not yet merged)
+	// arrival.
+	NextT float64 `json:"next_t"`
+	// NextCover reports whether the pending arrival is a cover message.
+	NextCover bool `json:"next_cover,omitempty"`
+	// RNG is the user's recipient-draw stream state.
+	RNG xrand.State `json:"rng"`
+}
+
+// EngineState is a serializable snapshot of a population engine between
+// rounds.
+type EngineState struct {
+	// Users/Recipients pin the population shape the snapshot belongs to.
+	Users      int `json:"users"`
+	Recipients int `json:"recipients"`
+	// SlabEnd is the generation horizon reached so far.
+	SlabEnd float64 `json:"slab_end"`
+	// Rounds is how many rounds the engine has emitted.
+	Rounds int `json:"rounds"`
+	// Queue holds the merged events generated but not yet consumed.
+	Queue []EventState `json:"queue"`
+	// States holds every user's generation cursor, in user order.
+	States []UserEngineState `json:"states"`
+}
+
+// Snapshot captures the engine's mutable state. The engine is not
+// consumed — a run may snapshot and keep going, which is how periodic
+// checkpointing works.
+func (e *Engine) Snapshot() (*EngineState, error) {
+	st := &EngineState{
+		Users:      len(e.users),
+		Recipients: e.nrcpt,
+		SlabEnd:    e.slabEnd,
+		Rounds:     e.rounds,
+		Queue:      make([]EventState, 0, len(e.queue)-e.qi),
+		States:     make([]UserEngineState, len(e.states)),
+	}
+	for _, ev := range e.queue[e.qi:] {
+		st.Queue = append(st.Queue, EventState{T: ev.t, User: ev.user, Rcpt: ev.rcpt, Dummy: ev.dummy})
+	}
+	for u := range e.states {
+		us := &e.states[u]
+		sup, err := traffic.Snapshot(us.sup)
+		if err != nil {
+			return nil, fmt.Errorf("population: snapshot user %d: %w", u, err)
+		}
+		st.States[u] = UserEngineState{
+			Sup:       sup,
+			NextT:     us.nextT,
+			NextCover: us.nextCover,
+			RNG:       e.users[u].RNG.State(),
+		}
+	}
+	return st, nil
+}
+
+// Restore applies a snapshot to a freshly built engine of the identical
+// population (same system description, spec and seed — the immutable
+// structure is rebuilt, not serialized). Churn schedules need no state:
+// each is a pure function of its private stream, so the rebuilt
+// schedule reproduces the snapshotted one exactly.
+func (e *Engine) Restore(st *EngineState) error {
+	if st == nil {
+		return errors.New("population: nil engine snapshot")
+	}
+	if st.Users != len(e.users) || st.Recipients != e.nrcpt {
+		return fmt.Errorf("population: snapshot shape %d users/%d recipients, engine has %d/%d",
+			st.Users, st.Recipients, len(e.users), e.nrcpt)
+	}
+	if len(st.States) != len(e.states) {
+		return fmt.Errorf("population: snapshot has %d user states for %d users", len(st.States), len(e.states))
+	}
+	for u := range e.states {
+		us := &e.states[u]
+		ss := &st.States[u]
+		if err := traffic.Restore(us.sup, ss.Sup); err != nil {
+			return fmt.Errorf("population: restore user %d: %w", u, err)
+		}
+		us.nextT = ss.NextT
+		us.nextCover = ss.NextCover
+		e.users[u].RNG.SetState(ss.RNG)
+	}
+	e.slabEnd = st.SlabEnd
+	e.rounds = st.Rounds
+	e.queue = e.queue[:0]
+	for _, ev := range st.Queue {
+		e.queue = append(e.queue, event{t: ev.T, user: ev.User, rcpt: ev.Rcpt, dummy: ev.Dummy})
+	}
+	e.qi = 0
+	return nil
+}
+
+// TargetEstimatorState is one target's estimator accumulators in a
+// disclosure snapshot.
+type TargetEstimatorState struct {
+	User       int32     `json:"user"`
+	SumWith    []float64 `json:"sum_with"`
+	SumWithout []float64 `json:"sum_without"`
+	NWith      int       `json:"n_with"`
+	NWithout   int       `json:"n_without"`
+	RoundsWith int       `json:"rounds_with"`
+	Masked     int       `json:"masked,omitempty"`
+	Streak     int       `json:"streak,omitempty"`
+	Disclosed  bool      `json:"disclosed,omitempty"`
+	Rounds     int       `json:"rounds,omitempty"`
+}
+
+// DisclosureState is a serializable snapshot of a disclosure run in
+// progress: the engine state plus every target's estimator.
+type DisclosureState struct {
+	Observed int                    `json:"observed"`
+	Done     bool                   `json:"done,omitempty"`
+	Engine   EngineState            `json:"engine"`
+	Targets  []TargetEstimatorState `json:"targets"`
+}
+
+// Snapshot captures the run's full mutable state; the run keeps going.
+func (run *DisclosureRun) Snapshot() (*DisclosureState, error) {
+	eng, err := run.d.eng.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := &DisclosureState{
+		Observed: run.observed,
+		Done:     run.done,
+		Engine:   *eng,
+		Targets:  make([]TargetEstimatorState, len(run.d.targets)),
+	}
+	for i := range run.d.targets {
+		t := &run.d.targets[i]
+		st.Targets[i] = TargetEstimatorState{
+			User:       t.user,
+			SumWith:    append([]float64(nil), t.sumWith...),
+			SumWithout: append([]float64(nil), t.sumWithout...),
+			NWith:      t.nWith,
+			NWithout:   t.nWithout,
+			RoundsWith: t.roundsWith,
+			Masked:     t.masked,
+			Streak:     t.streak,
+			Disclosed:  t.disclosed,
+			Rounds:     t.rounds,
+		}
+	}
+	return st, nil
+}
+
+// ResumeDisclosure continues a snapshotted disclosure run on a freshly
+// built engine of the identical population, under the identical config.
+// Stepping the resumed run to completion yields byte-identical results
+// to the uninterrupted run.
+func (e *Engine) ResumeDisclosure(cfg DisclosureConfig, st *DisclosureState) (*DisclosureRun, error) {
+	if st == nil {
+		return nil, errors.New("population: nil disclosure snapshot")
+	}
+	run, err := e.StartDisclosure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Targets) != len(run.d.targets) {
+		return nil, fmt.Errorf("population: snapshot has %d targets, config selects %d",
+			len(st.Targets), len(run.d.targets))
+	}
+	if err := e.Restore(&st.Engine); err != nil {
+		return nil, err
+	}
+	for i := range run.d.targets {
+		t := &run.d.targets[i]
+		ts := &st.Targets[i]
+		if ts.User != t.user {
+			return nil, fmt.Errorf("population: snapshot target %d is user %d, config selects user %d",
+				i, ts.User, t.user)
+		}
+		if len(ts.SumWith) != e.nrcpt || len(ts.SumWithout) != e.nrcpt {
+			return nil, fmt.Errorf("population: snapshot target %d estimator spans %d recipients, engine has %d",
+				i, len(ts.SumWith), e.nrcpt)
+		}
+		copy(t.sumWith, ts.SumWith)
+		copy(t.sumWithout, ts.SumWithout)
+		t.nWith = ts.NWith
+		t.nWithout = ts.NWithout
+		t.roundsWith = ts.RoundsWith
+		t.masked = ts.Masked
+		t.streak = ts.Streak
+		t.disclosed = ts.Disclosed
+		t.rounds = ts.Rounds
+	}
+	run.observed = st.Observed
+	run.done = st.Done
+	return run, nil
+}

@@ -69,6 +69,15 @@ type FlowCorrConfig struct {
 	Classifiers []*bayes.Classifier
 	// Extractors are the feature extractors matching Classifiers.
 	Extractors []adversary.Extractor
+	// MaskAbsent makes the rate correlation churn-aware: each pair's
+	// correlation is computed only over the windows where the egress flow
+	// emitted packets, masking the dark windows of an offline user. The
+	// mask is derived from the egress observation alone (a padded link
+	// emits in every window it is up), so it leaks nothing the adversary
+	// does not already see. Without it, population churn imprints the
+	// same on/off signature on every co-churning flow and the correlation
+	// silently biases toward presence overlap.
+	MaskAbsent bool
 	// Workers bounds the per-user simulation parallelism; results are
 	// identical at any width. Zero means all CPUs.
 	Workers int
@@ -218,9 +227,24 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 	// flow's posterior for the ingress user's class.
 	score := make([]float64, users*users)
 	corrTrue := 0.0
+	var mask []bool
+	if cfg.MaskAbsent {
+		mask = make([]bool, bins)
+	}
 	for f := 0; f < users; f++ {
+		if mask != nil {
+			for i, v := range obs[f].egRate {
+				mask[i] = v > 0
+			}
+		}
 		for u := 0; u < users; u++ {
-			corr, err := adversary.Pearson(obs[u].ingRate, obs[f].egRate)
+			var corr float64
+			var err error
+			if mask != nil {
+				corr, err = adversary.PearsonMasked(obs[u].ingRate, obs[f].egRate, mask)
+			} else {
+				corr, err = adversary.Pearson(obs[u].ingRate, obs[f].egRate)
+			}
 			if err != nil {
 				return nil, err
 			}

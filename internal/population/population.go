@@ -133,6 +133,11 @@ type User struct {
 	Profile Profile
 	// RNG draws recipients (real and dummy) in event order.
 	RNG *xrand.Rand
+	// Presence, when non-nil, is the user's churn schedule: arrivals
+	// (real and cover alike) that fall while the user is offline are
+	// dropped — an offline client sends nothing. The schedule must be
+	// private to the user, like every other stochastic element.
+	Presence *traffic.OnOffSchedule
 }
 
 // event is one message entering the shared infrastructure.
@@ -169,13 +174,16 @@ type userState struct {
 
 // Round is one batch of the population mix as both sides of the
 // adversary observe it: for each of the B messages, the sending user
-// (ingress view) and the delivered recipient (egress view), in arrival
-// order. Dummy is ground truth the adversary does not see; the attacks
-// never read it. A Round's slices are reused across NextRound calls.
+// (ingress view), the delivered recipient (egress view), and the arrival
+// time, in arrival order. Dummy is ground truth the adversary does not
+// see; the attacks never read it. Times is observable metadata (the
+// mix's flush clock) that churn-aware estimators use to check a target's
+// presence. A Round's slices are reused across NextRound calls.
 type Round struct {
 	Users []int32
 	Rcpts []int32
 	Dummy []bool
+	Times []float64
 }
 
 // Engine is a running multi-user simulation: per-user event streams
@@ -260,6 +268,11 @@ func (e *Engine) Class(u int) int { return e.users[u].Class }
 // ContactsOf returns a copy of user u's contact set, heaviest first.
 func (e *Engine) ContactsOf(u int) []int32 { return e.users[u].Profile.Contacts() }
 
+// PresenceOf returns user u's churn schedule (nil when the user never
+// churns). The schedule is stateful under query; the engine and any
+// estimator holding it must not be used concurrently.
+func (e *Engine) PresenceOf(u int) *traffic.OnOffSchedule { return e.users[u].Presence }
+
 // Rounds returns how many rounds have been emitted so far.
 func (e *Engine) Rounds() int { return e.rounds }
 
@@ -279,13 +292,19 @@ func (e *Engine) refill() error {
 		st.buf = st.buf[:0]
 		usr := &e.users[u]
 		for st.nextT < e.slabEnd {
+			// Recipients are drawn for every generated arrival, present or
+			// not, so a user's recipient stream position depends only on its
+			// arrival count — adding churn perturbs which messages exist,
+			// not how the survivors draw.
 			var rcpt int32
 			if st.nextCover {
 				rcpt = int32(usr.RNG.Intn(e.nrcpt))
 			} else {
 				rcpt = usr.Profile.Draw(usr.RNG)
 			}
-			st.buf = append(st.buf, event{t: st.nextT, user: int32(u), rcpt: rcpt, dummy: st.nextCover})
+			if usr.Presence == nil || usr.Presence.UpAt(st.nextT) {
+				st.buf = append(st.buf, event{t: st.nextT, user: int32(u), rcpt: rcpt, dummy: st.nextCover})
+			}
 			gap, src := st.sup.NextFrom()
 			st.nextT += gap
 			st.nextCover = src == 1
@@ -316,6 +335,7 @@ func (e *Engine) NextRound(batch int, r *Round) error {
 	r.Users = r.Users[:0]
 	r.Rcpts = r.Rcpts[:0]
 	r.Dummy = r.Dummy[:0]
+	r.Times = r.Times[:0]
 	for len(r.Users) < batch {
 		if e.qi >= len(e.queue) {
 			if err := e.refill(); err != nil {
@@ -328,6 +348,7 @@ func (e *Engine) NextRound(batch int, r *Round) error {
 		r.Users = append(r.Users, ev.user)
 		r.Rcpts = append(r.Rcpts, ev.rcpt)
 		r.Dummy = append(r.Dummy, ev.dummy)
+		r.Times = append(r.Times, ev.t)
 	}
 	e.rounds++
 	return nil

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"linkpad/internal/par"
+	"linkpad/internal/traffic"
 )
 
 // Statistical disclosure (sda.go): the round-based intersection attack.
@@ -41,6 +42,21 @@ type DisclosureConfig struct {
 	// estimate must hold before the target counts as disclosed (0 = 2);
 	// a single lucky checkpoint is not disclosure.
 	Consecutive int
+	// ChurnAware masks rounds in which the target was offline (its churn
+	// schedule down at the round's flush time) out of the estimator
+	// entirely, instead of counting them as "target silent" rounds.
+	// Presence is connection metadata the mix-side adversary observes, so
+	// the mask uses nothing hidden. The mask conditions both means on the
+	// *same* round population — rounds the target could have sent in —
+	// which keeps the background cancellation exact even when presence is
+	// correlated across users (diurnal populations, flash crowds): there
+	// the naive without-mean samples the co-online population of *other
+	// times* and inherits spurious contacts from whoever shares the
+	// target's offline windows. Under independent per-user churn the
+	// naive estimator stays unbiased and the mask mostly costs effective
+	// without-rounds (ablation-churn quantifies the trade). No-op without
+	// churn.
+	ChurnAware bool
 	// Workers bounds the engine's per-user generation parallelism;
 	// results are identical at any width. Zero means all CPUs.
 	Workers int
@@ -112,11 +128,13 @@ type DisclosureResult struct {
 type targetState struct {
 	user       int32
 	contacts   []int32 // sorted ascending, the set to identify
+	presence   *traffic.OnOffSchedule
 	sumWith    []float64
 	sumWithout []float64
 	nWith      int
 	nWithout   int
 	roundsWith int
+	masked     int // rounds skipped because the target was offline
 	streak     int
 	disclosed  bool
 	rounds     int
@@ -168,6 +186,9 @@ func newDisclosure(e *Engine, cfg DisclosureConfig) (*disclosure, error) {
 			sumWith:    make([]float64, e.nrcpt),
 			sumWithout: make([]float64, e.nrcpt),
 		}
+		if cfg.ChurnAware {
+			d.targets[i].presence = e.users[u].Presence
+		}
 	}
 	d.topIdx = make([]int32, maxK)
 	d.topVal = make([]float64, maxK)
@@ -175,7 +196,10 @@ func newDisclosure(e *Engine, cfg DisclosureConfig) (*disclosure, error) {
 	return d, nil
 }
 
-// observe folds one round into every target's estimator. Allocation-free.
+// observe folds one round into every target's estimator. A churn-aware
+// estimator skips rounds in which the target was offline at the flush
+// instant (the round's last arrival) — see DisclosureConfig.ChurnAware.
+// Allocation-free.
 func (d *disclosure) observe(r *Round) {
 	for i := range d.targets {
 		d.targets[i].sent = false
@@ -185,6 +209,10 @@ func (d *disclosure) observe(r *Round) {
 			d.targets[ti].sent = true
 		}
 	}
+	var flushT float64
+	if len(r.Times) > 0 {
+		flushT = r.Times[len(r.Times)-1]
+	}
 	for i := range d.targets {
 		t := &d.targets[i]
 		dst := t.sumWithout
@@ -193,6 +221,10 @@ func (d *disclosure) observe(r *Round) {
 			t.nWith++
 			t.roundsWith++
 		} else {
+			if t.presence != nil && !t.presence.UpAt(flushT) {
+				t.masked++
+				continue
+			}
 			t.nWithout++
 		}
 		for _, rc := range r.Rcpts {
@@ -320,12 +352,23 @@ func (d *disclosure) anonymity(t *targetState) float64 {
 	return h / math.Log(float64(len(d.est)))
 }
 
-// RunDisclosure runs the statistical disclosure attack against the
-// engine's population: rounds are observed until every target's contact
-// set is identified or the budget runs out. One run consumes the engine
-// (build a fresh engine per run); results are identical at any Workers
-// width.
-func (e *Engine) RunDisclosure(cfg DisclosureConfig) (*DisclosureResult, error) {
+// DisclosureRun is a statistical-disclosure attack in progress: the same
+// attack RunDisclosure executes, broken into resumable steps so a run
+// can be checkpointed (Snapshot) mid-flight and continued on a freshly
+// rebuilt engine (ResumeDisclosure). Observing all MaxRounds rounds
+// through any sequence of Step calls produces byte-identical results to
+// one uninterrupted RunDisclosure.
+type DisclosureRun struct {
+	d        *disclosure
+	observed int
+	done     bool
+	r        Round
+}
+
+// StartDisclosure validates cfg against the engine and prepares a
+// resumable disclosure run. The run consumes the engine; build a fresh
+// engine per run.
+func (e *Engine) StartDisclosure(cfg DisclosureConfig) (*DisclosureRun, error) {
 	cfg = cfg.withDefaults(len(e.users))
 	if cfg.Batch < 1 || cfg.MaxRounds < 1 || cfg.CheckEvery < 1 || cfg.Consecutive < 1 {
 		return nil, errors.New("population: disclosure parameters must be positive")
@@ -335,19 +378,46 @@ func (e *Engine) RunDisclosure(cfg DisclosureConfig) (*DisclosureResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	var r Round
-	observed := 0
-	for round := 1; round <= cfg.MaxRounds; round++ {
-		if err := e.NextRound(cfg.Batch, &r); err != nil {
-			return nil, err
+	return &DisclosureRun{d: d}, nil
+}
+
+// Step observes up to n more rounds, stopping early when every target is
+// disclosed or the round budget is exhausted. It reports whether the run
+// is finished.
+func (run *DisclosureRun) Step(n int) (bool, error) {
+	cfg := &run.d.cfg
+	for i := 0; i < n && !run.done && run.observed < cfg.MaxRounds; i++ {
+		round := run.observed + 1
+		if err := run.d.eng.NextRound(cfg.Batch, &run.r); err != nil {
+			return false, err
 		}
-		d.observe(&r)
-		observed = round
-		if round%cfg.CheckEvery == 0 && d.checkpoint(round) {
-			break
+		run.d.observe(&run.r)
+		run.observed = round
+		if round%cfg.CheckEvery == 0 && run.d.checkpoint(round) {
+			run.done = true
 		}
 	}
-	res := &DisclosureResult{Rounds: observed, Targets: make([]TargetOutcome, len(d.targets))}
+	if run.observed >= cfg.MaxRounds {
+		run.done = true
+	}
+	return run.done, nil
+}
+
+// Observed returns how many rounds the run has folded in so far.
+func (run *DisclosureRun) Observed() int { return run.observed }
+
+// Done reports whether the run has finished (all targets disclosed or
+// budget exhausted).
+func (run *DisclosureRun) Done() bool { return run.done }
+
+// Result assembles the outcome from the estimators' current state. It
+// may be called at any point; before Done it reports the attack as of
+// the rounds observed so far (undisclosed targets censored at
+// MaxRounds).
+func (run *DisclosureRun) Result() *DisclosureResult {
+	d := run.d
+	cfg := &d.cfg
+	res := &DisclosureResult{Rounds: run.observed, Targets: make([]TargetOutcome, len(d.targets))}
 	var sumRounds, sumAnon float64
 	disclosed := 0
 	for i := range d.targets {
@@ -372,5 +442,21 @@ func (e *Engine) RunDisclosure(cfg DisclosureConfig) (*DisclosureResult, error) 
 	res.MeanRounds = sumRounds / n
 	res.DisclosedFrac = float64(disclosed) / n
 	res.MeanAnonymity = sumAnon / n
-	return res, nil
+	return res
+}
+
+// RunDisclosure runs the statistical disclosure attack against the
+// engine's population: rounds are observed until every target's contact
+// set is identified or the budget runs out. One run consumes the engine
+// (build a fresh engine per run); results are identical at any Workers
+// width. It is StartDisclosure + one Step over the full budget.
+func (e *Engine) RunDisclosure(cfg DisclosureConfig) (*DisclosureResult, error) {
+	run, err := e.StartDisclosure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := run.Step(run.d.cfg.MaxRounds); err != nil {
+		return nil, err
+	}
+	return run.Result(), nil
 }

@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"linkpad/internal/xrand"
+)
+
+func TestOnOffScheduleValidation(t *testing.T) {
+	if _, err := NewOnOffSchedule(0, 1, xrand.New(1)); err == nil {
+		t.Error("zero mean up should fail")
+	}
+	if _, err := NewOnOffSchedule(1, -1, xrand.New(1)); err == nil {
+		t.Error("negative mean down should fail")
+	}
+	if _, err := NewOnOffSchedule(1, 1, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestOnOffScheduleDeterministic(t *testing.T) {
+	// Two schedules built from the same stream seed answer identically,
+	// even when queried in different orders — the checkpoint contract:
+	// schedules are rebuilt, never serialized.
+	a, err := NewOnOffSchedule(2, 1, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOnOffSchedule(2, 1, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a walks forward; b probes the far future first, then walks back.
+	b.UpAt(100)
+	for i := 0; i <= 1000; i++ {
+		at := float64(i) * 0.1
+		if a.UpAt(at) != b.UpAt(at) {
+			t.Fatalf("schedules diverge at t=%v", at)
+		}
+	}
+}
+
+func TestOnOffScheduleStationaryFraction(t *testing.T) {
+	// The time-average availability over many cycles approaches
+	// MeanUp/(MeanUp+MeanDown), and the stationary start keeps the early
+	// prefix unbiased too.
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		meanUp := frac
+		meanDown := 1 - frac
+		var up, n int
+		for seed := uint64(1); seed <= 20; seed++ {
+			s, err := NewOnOffSchedule(meanUp, meanDown, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.UpFraction() != frac {
+				t.Fatalf("UpFraction = %v, want %v", s.UpFraction(), frac)
+			}
+			for i := 0; i < 2000; i++ {
+				if s.UpAt(float64(i) * 0.05) {
+					up++
+				}
+				n++
+			}
+		}
+		got := float64(up) / float64(n)
+		if math.Abs(got-frac) > 0.05 {
+			t.Errorf("stationary availability at frac %v: measured %v", frac, got)
+		}
+	}
+}
+
+func TestOnOffScheduleNextUpAfter(t *testing.T) {
+	s, err := NewOnOffSchedule(0.5, 0.5, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		at := float64(i) * 0.07
+		next := s.NextUpAfter(at)
+		if next < at {
+			t.Fatalf("NextUpAfter(%v) = %v went backward", at, next)
+		}
+		if s.UpAt(at) && next != at {
+			t.Fatalf("up at %v but NextUpAfter = %v", at, next)
+		}
+		if !s.UpAt(next) {
+			t.Fatalf("NextUpAfter(%v) = %v is not up", at, next)
+		}
+	}
+}
+
+func TestGatedRate(t *testing.T) {
+	// Gating a Poisson source by a 50% schedule halves the long-run rate;
+	// surviving arrivals all land in UP intervals.
+	src, err := NewPoisson(100, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewOnOffSchedule(1, 1, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGated(src, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate() != 50 {
+		t.Errorf("Rate() = %v, want 50", g.Rate())
+	}
+	check, err := NewOnOffSchedule(1, 1, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	var now, last float64
+	for i := 0; i < n; i++ {
+		gap := g.Next()
+		if gap <= 0 {
+			t.Fatalf("non-positive gap %v at %d", gap, i)
+		}
+		now += gap
+		if !check.UpAt(now) {
+			t.Fatalf("surviving arrival at %v falls in a DOWN interval", now)
+		}
+		last = now
+	}
+	if got := n / last; math.Abs(got-50)/50 > 0.05 {
+		t.Errorf("measured gated rate %v, want ~50", got)
+	}
+}

@@ -1,0 +1,138 @@
+package traffic
+
+import (
+	"encoding/json"
+	"testing"
+
+	"linkpad/internal/xrand"
+)
+
+// stateSources builds one instance of every snapshot-capable source kind,
+// as a constructor so a test can build identical twins.
+func stateSources(t *testing.T) map[string]func() Source {
+	t.Helper()
+	return map[string]func() Source{
+		"poisson": func() Source {
+			s, err := NewPoisson(40, xrand.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"cbr": func() Source {
+			s, err := NewCBR(100, 0.005, xrand.New(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"onoff": func() Source {
+			s, err := NewOnOff(200, 0.4, 0.6, xrand.New(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"train": func() Source {
+			s, err := NewTrain(40, 5, 1e-3, xrand.New(14))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"superpose": func() Source {
+			a, err := NewPoisson(10, xrand.New(15))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewOnOff(80, 0.3, 0.7, xrand.New(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSuperpose(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"gated": func() Source {
+			src, err := NewPoisson(60, xrand.New(17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := NewOnOffSchedule(1, 1, xrand.New(18))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGated(src, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+	}
+}
+
+// TestSnapshotRestoreRoundTrip advances a source, snapshots it through a
+// JSON round trip (the serialization the checkpoint files use), restores
+// onto a freshly built twin, and demands the continuation be bit-for-bit
+// identical to the original's.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for kind, build := range stateSources(t) {
+		t.Run(kind, func(t *testing.T) {
+			orig := build()
+			for i := 0; i < 137; i++ {
+				orig.Next()
+			}
+			st, err := Snapshot(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Kind == "" {
+				t.Fatal("snapshot carries no kind")
+			}
+			data, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded SourceState
+			if err := json.Unmarshal(data, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			twin := build()
+			if err := Restore(twin, decoded); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 500; i++ {
+				a, b := orig.Next(), twin.Next()
+				if a != b {
+					t.Fatalf("continuation diverges at draw %d: %v != %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsKindMismatch: a state must never be applied to a
+// source of a different kind.
+func TestRestoreRejectsKindMismatch(t *testing.T) {
+	sources := stateSources(t)
+	poisson := sources["poisson"]()
+	onoffState, err := Snapshot(sources["onoff"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(poisson, onoffState); err == nil {
+		t.Error("onoff state restored into a Poisson source")
+	}
+	super := sources["superpose"]()
+	st, err := Snapshot(super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sub = st.Sub[:1]
+	st.Next = st.Next[:1]
+	if err := Restore(sources["superpose"](), st); err == nil {
+		t.Error("superpose state with missing components restored")
+	}
+}
