@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare staticcheck \
-	docs golden golden-check resume-check ci clean
+.PHONY: all build vet test race bench bench-json bench-compare bench-gate \
+	profile staticcheck docs golden golden-check resume-check ci clean
 
 all: vet build test
 
@@ -26,6 +26,20 @@ bench-json:
 # BENCH.json records (same scale/seed/workers).
 bench-compare:
 	$(GO) run ./cmd/linkpadsim -bench-compare BENCH.json
+
+# Same diff, but fail if any experiment slowed down past 25% (baselines
+# under 50 ms are exempt from the gate as pure scheduling noise). This is
+# what the bench-trajectory CI job runs.
+bench-gate:
+	$(GO) run ./cmd/linkpadsim -bench-gate BENCH.json -bench-gate-pct 25
+
+# CPU + heap profiles of the heaviest single experiment (the 15-hop WAN
+# diurnal path of fig8b); inspect with `go tool pprof cpu.prof`.
+PROFILE_EXP = fig8b
+profile:
+	$(GO) run ./cmd/linkpadsim -exp $(PROFILE_EXP) -scale 0.5 \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; try: $(GO) tool pprof -top cpu.prof"
 
 # Static analysis at the version CI pins (needs network for the first run).
 staticcheck:
@@ -86,7 +100,7 @@ resume-check:
 ci: vet build test race staticcheck docs golden-check resume-check
 
 clean:
-	rm -f linkpad.test
+	rm -f linkpad.test cpu.prof mem.prof
 
 # Race-detector pass over the full test suite; nested parallelism
 # (sweep points x sessions x trials) is load-bearing, so run this before

@@ -8,26 +8,23 @@ import (
 	"sort"
 )
 
-// runBenchCompare prints per-experiment wall-clock deltas between the
-// last record of the trajectory at path and the most recent earlier
-// record with the same scale, seed and effective parallelism (equal
-// workers, and equal GOMAXPROCS when workers is 0 = all CPUs) — the pair
-// that is actually comparable — so a perf regression shows up as a
-// signed percentage instead of a manual JSON diff.
-func runBenchCompare(w io.Writer, path string) error {
+// comparablePair loads the trajectory at path and returns its last record
+// plus the most recent earlier record with the same scale, seed and
+// effective parallelism (equal workers, and equal GOMAXPROCS when
+// workers is 0 = all CPUs) — the pair that is actually comparable.
+func comparablePair(path string) (prev, last *benchRecord, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("bench-compare: %w", err)
+		return nil, nil, err
 	}
 	var trajectory []benchRecord
 	if err := json.Unmarshal(data, &trajectory); err != nil {
-		return fmt.Errorf("bench-compare: %s is not a bench trajectory: %w", path, err)
+		return nil, nil, fmt.Errorf("%s is not a bench trajectory: %w", path, err)
 	}
 	if len(trajectory) < 2 {
-		return fmt.Errorf("bench-compare: %s holds %d record(s); need at least two", path, len(trajectory))
+		return nil, nil, fmt.Errorf("%s holds %d record(s); need at least two", path, len(trajectory))
 	}
-	last := &trajectory[len(trajectory)-1]
-	var prev *benchRecord
+	last = &trajectory[len(trajectory)-1]
 	for i := len(trajectory) - 2; i >= 0; i-- {
 		r := &trajectory[i]
 		if r.Scale != last.Scale || r.Seed != last.Seed || r.Workers != last.Workers {
@@ -39,12 +36,52 @@ func runBenchCompare(w io.Writer, path string) error {
 		if last.Workers == 0 && r.GOMAXPROCS != last.GOMAXPROCS {
 			continue
 		}
-		prev = r
-		break
+		return r, last, nil
 	}
-	if prev == nil {
-		return fmt.Errorf("bench-compare: no earlier record matches the last one (scale %v, seed %d, workers %d, GOMAXPROCS %d)",
-			last.Scale, last.Seed, last.Workers, last.GOMAXPROCS)
+	return nil, nil, fmt.Errorf("no earlier record matches the last one (scale %v, seed %d, workers %d, GOMAXPROCS %d)",
+		last.Scale, last.Seed, last.Workers, last.GOMAXPROCS)
+}
+
+// runBenchCompare prints per-experiment wall-clock deltas between the
+// last two comparable records of the trajectory at path, so a perf
+// regression shows up as a signed percentage instead of a manual JSON
+// diff.
+func runBenchCompare(w io.Writer, path string) error {
+	if err := benchDiff(w, path, 0); err != nil {
+		return fmt.Errorf("bench-compare: %w", err)
+	}
+	return nil
+}
+
+// benchGateFloorSeconds is the noise floor of the regression gate:
+// experiments whose baseline ran shorter than this are skipped, because
+// a CI runner's scheduling jitter alone swings sub-50 ms timings far
+// past any sensible percentage threshold.
+const benchGateFloorSeconds = 0.05
+
+// runBenchGate is runBenchCompare with teeth: it prints the same delta
+// table and then fails if any individual experiment above the noise
+// floor slowed down by more than gatePct percent. Only per-experiment
+// slowdowns gate — totals shift with experiment membership, new and
+// removed experiments have no baseline, and speedups are never an error.
+func runBenchGate(w io.Writer, path string, gatePct float64) error {
+	if gatePct <= 0 {
+		return fmt.Errorf("bench-gate: threshold must be positive, got %v", gatePct)
+	}
+	if err := benchDiff(w, path, gatePct); err != nil {
+		return fmt.Errorf("bench-gate: %w", err)
+	}
+	return nil
+}
+
+// benchDiff prints the per-experiment delta table between the last two
+// comparable records; with gatePct > 0 it also collects experiments
+// slower than the threshold (baseline above the noise floor) and errors
+// if any exist.
+func benchDiff(w io.Writer, path string, gatePct float64) error {
+	prev, last, err := comparablePair(path)
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(w, "# bench-compare: %s\n", path)
@@ -52,6 +89,10 @@ func runBenchCompare(w io.Writer, path string) error {
 	fmt.Fprintf(w, "# new: %s  %s (%s)\n", last.Timestamp, short(last.GitCommit), last.GoVersion)
 	fmt.Fprintf(w, "# scale %v, seed %d, workers %d, GOMAXPROCS %d -> %d\n",
 		last.Scale, last.Seed, last.Workers, prev.GOMAXPROCS, last.GOMAXPROCS)
+	if gatePct > 0 {
+		fmt.Fprintf(w, "# gate: fail on > +%.0f%% per experiment (baselines under %.0f ms ignored)\n",
+			gatePct, benchGateFloorSeconds*1000)
+	}
 
 	oldSecs := make(map[string]float64, len(prev.Experiments))
 	for _, p := range prev.Experiments {
@@ -68,10 +109,11 @@ func runBenchCompare(w io.Writer, path string) error {
 		}
 	}
 	if shared == 0 {
-		return fmt.Errorf("bench-compare: the comparable records (%s and %s) share no experiments — nothing to diff",
+		return fmt.Errorf("the comparable records (%s and %s) share no experiments — nothing to diff",
 			prev.Timestamp, last.Timestamp)
 	}
 	sort.Strings(ids)
+	var regressed []string
 	fmt.Fprintf(w, "%-28s %10s %10s %9s\n", "experiment", "old_s", "new_s", "delta")
 	for _, id := range ids {
 		after := newSecs[id]
@@ -81,6 +123,11 @@ func runBenchCompare(w io.Writer, path string) error {
 			continue
 		}
 		fmt.Fprintf(w, "%-28s %10.3f %10.3f %9s\n", id, before, after, deltaPct(before, after))
+		if gatePct > 0 && before >= benchGateFloorSeconds &&
+			100*(after-before)/before > gatePct {
+			regressed = append(regressed, fmt.Sprintf("%s (%.3fs -> %.3fs, %s)",
+				id, before, after, deltaPct(before, after)))
+		}
 	}
 	for _, p := range prev.Experiments {
 		if _, ok := newSecs[p.ID]; !ok {
@@ -90,7 +137,21 @@ func runBenchCompare(w io.Writer, path string) error {
 	fmt.Fprintf(w, "%-28s %10.3f %10.3f %9s\n", "total",
 		prev.TotalSeconds, last.TotalSeconds,
 		deltaPct(prev.TotalSeconds, last.TotalSeconds))
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d experiment(s) regressed past +%.0f%%: %s",
+			len(regressed), gatePct, joinLines(regressed))
+	}
 	return nil
+}
+
+// joinLines formats the regression list one entry per line for the error
+// message.
+func joinLines(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += "\n  " + x
+	}
+	return out
 }
 
 // deltaPct formats the relative change from before to after. A zero

@@ -112,6 +112,52 @@ func TestBenchCompareZeroBaseline(t *testing.T) {
 	}
 }
 
+func TestBenchGate(t *testing.T) {
+	// One experiment regresses 3x, one is fine, and one regresses 10x but
+	// from a 1 ms baseline under the noise floor: only the first gates.
+	path := writeTrajectory(t, `[
+  {"timestamp":"t1","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":3.101,
+   "experiments":[{"id":"fig8b","seconds":1,"rows":5},{"id":"fig4b","seconds":2.1,"rows":5},
+                  {"id":"ext-sizes","seconds":0.001,"rows":2}]},
+  {"timestamp":"t2","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":5.01,
+   "experiments":[{"id":"fig8b","seconds":3,"rows":5},{"id":"fig4b","seconds":2,"rows":5},
+                  {"id":"ext-sizes","seconds":0.01,"rows":2}]}
+]`)
+	var sb strings.Builder
+	err := runBenchGate(&sb, path, 25)
+	if err == nil {
+		t.Fatal("a 3x per-experiment regression should gate")
+	}
+	if !strings.Contains(err.Error(), "fig8b") {
+		t.Errorf("gate error should name fig8b: %v", err)
+	}
+	if strings.Contains(err.Error(), "ext-sizes") {
+		t.Errorf("sub-floor baselines must not gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "gate: fail on > +25%") {
+		t.Errorf("gate header missing:\n%s", sb.String())
+	}
+	// The same trajectory passes with a looser threshold.
+	if err := runBenchGate(&strings.Builder{}, path, 250); err != nil {
+		t.Errorf("250%% threshold should pass: %v", err)
+	}
+	if err := runBenchGate(&strings.Builder{}, path, 0); err == nil {
+		t.Error("non-positive threshold should be rejected")
+	}
+}
+
+func TestBenchGatePassesOnSpeedup(t *testing.T) {
+	path := writeTrajectory(t, `[
+  {"timestamp":"t1","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":4,
+   "experiments":[{"id":"fig8b","seconds":4,"rows":5}]},
+  {"timestamp":"t2","gomaxprocs":8,"scale":0.5,"seed":1,"workers":0,"total_seconds":2,
+   "experiments":[{"id":"fig8b","seconds":2,"rows":5}]}
+]`)
+	if err := runBenchGate(&strings.Builder{}, path, 25); err != nil {
+		t.Errorf("speedups must never gate: %v", err)
+	}
+}
+
 func TestDeltaPct(t *testing.T) {
 	if got := deltaPct(4, 2); got != "-50.0%" {
 		t.Errorf("deltaPct(4, 2) = %q", got)

@@ -8,7 +8,9 @@
 //	linkpadsim -exp all -o results/
 //	linkpadsim -exp all -bench-json BENCH.json
 //	linkpadsim -bench-compare BENCH.json
+//	linkpadsim -bench-gate BENCH.json [-bench-gate-pct 25]
 //	linkpadsim -exp ext-disclosure -checkpoint cp.json [-checkpoint-kill N]
+//	linkpadsim -exp fig8b -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints the series the corresponding paper figure plots;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -21,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"linkpad/internal/experiment"
@@ -53,9 +57,13 @@ func run() error {
 		outDir       = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
 		benchJSON    = flag.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
 		benchCompare = flag.String("bench-compare", "", "print per-experiment wall-clock deltas between the last two comparable records (same scale/seed/workers) of this bench trajectory file")
+		benchGate    = flag.String("bench-gate", "", "like -bench-compare, but exit non-zero if any experiment slowed down past -bench-gate-pct")
+		benchGatePct = flag.Float64("bench-gate-pct", 25, "per-experiment slowdown threshold for -bench-gate, in percent")
 		checkpoint   = flag.String("checkpoint", "", "persist per-cell progress of a checkpointable experiment to this file and resume from it if present")
 		cpKill       = flag.Int("checkpoint-kill", 0, "abort with a simulated crash after this many cells finish (requires -checkpoint; exit code 3)")
 		timeout      = flag.Duration("timeout", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 
@@ -72,6 +80,35 @@ func run() error {
 	}
 	if *benchCompare != "" {
 		return runBenchCompare(os.Stdout, *benchCompare)
+	}
+	if *benchGate != "" {
+		return runBenchGate(os.Stdout, *benchGate, *benchGatePct)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		// Written on the way out so the profile covers the whole run's
+		// retained heap, not the startup state.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "linkpadsim: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if *list {
 		for _, id := range experiment.Names() {

@@ -257,15 +257,26 @@ func (a *Attacker) Evaluate(sources []PIATSource, windowsPerClass int) (*bayes.C
 
 // EmpiricalR estimates the paper's variance ratio r = σ_h²/σ_l² from raw
 // PIAT streams: it reads n PIATs from each of the two sources and returns
-// the ratio of their sample variances (high/low as given).
+// the ratio of their sample variances (high/low as given). Each source is
+// consumed a slab at a time when it supports batching; the two streams
+// are independent and their accumulators separate, so the batched
+// traversal order yields the identical ratio.
 func EmpiricalR(low, high PIATSource, n int) (float64, error) {
 	if n < 2 {
 		return 0, errors.New("adversary: need n >= 2")
 	}
 	var ml, mh stats.Moments
-	for i := 0; i < n; i++ {
-		ml.Add(low.Next())
-		mh.Add(high.Next())
+	buf := make([]float64, chunkLen(n))
+	for _, s := range []struct {
+		src PIATSource
+		m   *stats.Moments
+	}{{low, &ml}, {high, &mh}} {
+		for done := 0; done < n; {
+			k := min(len(buf), n-done)
+			fillPIATs(s.src, buf[:k])
+			s.m.AddAll(buf[:k])
+			done += k
+		}
 	}
 	vl, vh := ml.Variance(), mh.Variance()
 	if !(vl > 0) {

@@ -6,8 +6,37 @@ import (
 
 	"linkpad/internal/analytic"
 	"linkpad/internal/par"
+	"linkpad/internal/slab"
 	"linkpad/internal/stats"
 )
+
+// batchPIATSource is the structural face of the batched event core as
+// the adversary sees it: any PIAT source whose NextBatch(dst) is
+// equivalent to len(dst) Next calls (netem.BatchStream implementers
+// qualify; the interface is asserted structurally so this package needs
+// no netem dependency). The extraction pipelines use it to pull whole
+// slabs of PIATs per virtual call instead of one.
+type batchPIATSource interface {
+	NextBatch(dst []float64)
+}
+
+// fillPIATs fills dst from src through the batched path when available.
+func fillPIATs(src PIATSource, dst []float64) {
+	if b, ok := src.(batchPIATSource); ok {
+		b.NextBatch(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = src.Next()
+	}
+}
+
+// chunkLen bounds one extraction batch: full slabs amortize the chain's
+// per-call overhead, and capping at the slab size bounds the temporary
+// buffers of variable-rate chain elements.
+func chunkLen(n int) int {
+	return min(n, slab.DefaultLen)
+}
 
 // Pipeline is a reusable feature-extraction engine for one Extractor: the
 // window buffer, the entropy histogram and the quantile scratch space are
@@ -61,7 +90,10 @@ func (p *Pipeline) Extract(window []float64) (float64, error) {
 // ExtractFrom reads one window of n PIATs from src and reduces it in a
 // single streaming pass: mean and variance through a one-pass accumulator
 // and entropy through the reusable histogram, with the raw window
-// buffered only when the feature (IQR) needs order statistics.
+// buffered only when the feature (IQR) needs order statistics. PIATs are
+// pulled a slab at a time when the source supports batching; the
+// accumulators consume the slab in stream order, so the result is
+// identical to the per-packet pull.
 func (p *Pipeline) ExtractFrom(src PIATSource, n int) (float64, error) {
 	if n < 2 {
 		return 0, errors.New("adversary: window must hold at least two PIATs")
@@ -69,8 +101,12 @@ func (p *Pipeline) ExtractFrom(src PIATSource, n int) (float64, error) {
 	switch p.ext.Feature {
 	case analytic.FeatureMean, analytic.FeatureVariance:
 		var m stats.Moments
-		for i := 0; i < n; i++ {
-			m.Add(src.Next())
+		p.window(chunkLen(n))
+		for done := 0; done < n; {
+			k := min(len(p.buf), n-done)
+			fillPIATs(src, p.buf[:k])
+			m.AddAll(p.buf[:k])
+			done += k
 		}
 		if p.ext.Feature == analytic.FeatureMean {
 			return m.Mean(), nil
@@ -78,14 +114,20 @@ func (p *Pipeline) ExtractFrom(src PIATSource, n int) (float64, error) {
 		return m.Variance(), nil
 	case analytic.FeatureEntropy:
 		p.hist.Reset()
-		for i := 0; i < n; i++ {
-			p.hist.Add(src.Next())
+		p.window(chunkLen(n))
+		for done := 0; done < n; {
+			k := min(len(p.buf), n-done)
+			fillPIATs(src, p.buf[:k])
+			p.hist.AddAll(p.buf[:k])
+			done += k
 		}
 		return p.hist.Entropy(), nil
 	case analytic.FeatureIQR:
 		p.window(n)
-		for i := 0; i < n; i++ {
-			p.buf[i] = src.Next()
+		for done := 0; done < n; {
+			k := min(chunkLen(n), n-done)
+			fillPIATs(src, p.buf[done:done+k])
+			done += k
 		}
 		return p.iqrInPlace(n)
 	default:
@@ -160,6 +202,9 @@ func NewMultiPipeline(exts []Extractor) (*MultiPipeline, error) {
 
 // ExtractFrom reads one window of n PIATs from src and writes each
 // extractor's statistic to out[i]. Steady state performs no allocation.
+// The window is pulled a slab at a time when the source supports
+// batching; every accumulator consumes the slabs in stream order, so the
+// statistics are identical to the per-packet pull.
 func (m *MultiPipeline) ExtractFrom(src PIATSource, n int, out []float64) error {
 	if n < 2 {
 		return errors.New("adversary: window must hold at least two PIATs")
@@ -173,22 +218,31 @@ func (m *MultiPipeline) ExtractFrom(src PIATSource, n int, out []float64) error 
 			h.Reset()
 		}
 	}
-	if m.needBuf && cap(m.buf) < n {
-		m.buf = make([]float64, n)
+	// The buffer doubles as the batch scratch: full window when order
+	// statistics need it, one slab otherwise.
+	bufLen := chunkLen(n)
+	if m.needBuf {
+		bufLen = n
 	}
-	for i := 0; i < n; i++ {
-		x := src.Next()
+	if cap(m.buf) < bufLen {
+		m.buf = make([]float64, bufLen)
+	}
+	for done := 0; done < n; {
+		k := min(chunkLen(n), n-done)
+		chunk := m.buf[:k]
+		if m.needBuf {
+			chunk = m.buf[done : done+k]
+		}
+		fillPIATs(src, chunk)
 		if m.moments {
-			mom.Add(x)
+			mom.AddAll(chunk)
 		}
 		for _, h := range m.hists {
 			if h != nil {
-				h.Add(x)
+				h.AddAll(chunk)
 			}
 		}
-		if m.needBuf {
-			m.buf[i] = x
-		}
+		done += k
 	}
 	for i, e := range m.exts {
 		switch e.Feature {

@@ -136,6 +136,22 @@ func (r *Replay) Next() float64 {
 	return x
 }
 
+// NextBatch fills dst with the next len(dst) recorded PIATs, saturating
+// at the last value — exactly len(dst) Next calls, one copy.
+func (r *Replay) NextBatch(dst []float64) {
+	n := copy(dst, r.xs[min(r.i, len(r.xs)):])
+	r.i += n
+	if n < len(dst) {
+		last := 0.0
+		if len(r.xs) > 0 {
+			last = r.xs[len(r.xs)-1]
+		}
+		for i := n; i < len(dst); i++ {
+			dst[i] = last
+		}
+	}
+}
+
 // Remaining returns how many recorded PIATs are left to read.
 func (r *Replay) Remaining() int { return len(r.xs) - r.i }
 

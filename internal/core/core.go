@@ -522,6 +522,13 @@ type AttackConfig struct {
 	// replica, so results are identical for any worker count. Zero means
 	// all CPUs.
 	Workers int
+	// SkipEmpiricalR skips the two-class variance-ratio measurement (and
+	// the closed-form theory evaluation that consumes it). The ratio is
+	// simulated on dedicated stream replicas that can cost as much as the
+	// attack itself, so experiments that only report detection rates or
+	// confusion matrices set this; it cannot change their numbers, because
+	// the ratio replicas are independent streams the attack never reads.
+	SkipEmpiricalR bool
 }
 
 // withDefaults fills zero fields.
@@ -674,7 +681,7 @@ func (s *System) RunAttackSet(cfg AttackConfig, features []analytic.Feature) ([]
 	// once per set (on yet another pair of replicas, so it does not
 	// consume attack data).
 	var empiricalR float64
-	if m == 2 {
+	if m == 2 && !cfg.SkipEmpiricalR {
 		rLow, err := s.PIATSource(0, cfg.EvalStreamID+1000)
 		if err != nil {
 			return nil, err
@@ -705,7 +712,7 @@ func (s *System) RunAttackSet(cfg AttackConfig, features []analytic.Feature) ([]
 			Confusion:     cms[fi],
 			EmpiricalR:    empiricalR,
 		}
-		if m == 2 && analytic.HasTheorem(f) {
+		if m == 2 && !cfg.SkipEmpiricalR && analytic.HasTheorem(f) {
 			v, err := analytic.DetectionRate(f, empiricalR, cfg.WindowSize)
 			if err != nil {
 				return nil, err

@@ -49,10 +49,11 @@ func BaselinePolicies(o Options) (*Table, error) {
 			return err
 		}
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   n,
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			Workers:      o.nestedWorkers(len(policies)),
+			WindowSize:     n,
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			Workers:        o.nestedWorkers(len(policies)),
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy})
 		if err != nil {
 			return err

@@ -36,10 +36,11 @@ func ExtFeatures(o Options) (*Table, error) {
 	rows := make([][]float64, len(ns))
 	err = parMap(len(ns), o.workers(), func(i int) error {
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   ns[i],
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			Workers:      o.nestedWorkers(len(ns)),
+			WindowSize:     ns[i],
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			Workers:        o.nestedWorkers(len(ns)),
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy, analytic.FeatureIQR})
 		if err != nil {
 			return err
@@ -86,10 +87,11 @@ func ValidateExactNet(o Options) (*Table, error) {
 			return err
 		}
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   n,
-			TrainWindows: o.windows(80),
-			EvalWindows:  o.windows(80),
-			Workers:      o.nestedWorkers(2),
+			WindowSize:     n,
+			TrainWindows:   o.windows(80),
+			EvalWindows:    o.windows(80),
+			Workers:        o.nestedWorkers(2),
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy})
 		if err != nil {
 			return err
@@ -177,11 +179,12 @@ func MultiRate(o Options) (*Table, error) {
 		return nil, err
 	}
 	res, err := sys.RunAttack(core.AttackConfig{
-		Feature:      analytic.FeatureEntropy,
-		WindowSize:   1000,
-		TrainWindows: o.windows(150),
-		EvalWindows:  o.windows(150),
-		Workers:      o.Workers,
+		Feature:        analytic.FeatureEntropy,
+		WindowSize:     1000,
+		TrainWindows:   o.windows(150),
+		EvalWindows:    o.windows(150),
+		Workers:        o.Workers,
+		SkipEmpiricalR: true,
 	})
 	if err != nil {
 		return nil, err
@@ -223,6 +226,7 @@ func AblationBinWidth(o Options) (*Table, error) {
 			EvalWindows:     o.windows(120),
 			EntropyBinWidth: wUS * 1e-6,
 			Workers:         o.Workers,
+			SkipEmpiricalR:  true,
 		})
 		if err != nil {
 			return nil, err
@@ -254,11 +258,12 @@ func AblationTraining(o Options) (*Table, error) {
 	byMode := make([][]*core.AttackResult, 2)
 	for mode, gaussian := range []bool{false, true} {
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   1000,
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			GaussianFit:  gaussian,
-			Workers:      o.Workers,
+			WindowSize:     1000,
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			GaussianFit:    gaussian,
+			Workers:        o.Workers,
+			SkipEmpiricalR: true,
 		}, features)
 		if err != nil {
 			return nil, err
@@ -292,10 +297,11 @@ func AblationPayload(o Options) (*Table, error) {
 			return nil, err
 		}
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   1000,
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			Workers:      o.Workers,
+			WindowSize:     1000,
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			Workers:        o.Workers,
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy})
 		if err != nil {
 			return nil, err
@@ -336,11 +342,12 @@ func AblationTap(o Options) (*Table, error) {
 			return nil, err
 		}
 		res, err := sys.RunAttack(core.AttackConfig{
-			Feature:      analytic.FeatureEntropy,
-			WindowSize:   1000,
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			Workers:      o.Workers,
+			Feature:        analytic.FeatureEntropy,
+			WindowSize:     1000,
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			Workers:        o.Workers,
+			SkipEmpiricalR: true,
 		})
 		if err != nil {
 			return nil, err

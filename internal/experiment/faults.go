@@ -107,11 +107,12 @@ var extImpairmentCells = &cellExperiment{
 		switch proto {
 		case impairReplica:
 			res, err := sys.RunAttack(core.AttackConfig{
-				Feature:      analytic.FeatureEntropy,
-				WindowSize:   1000,
-				TrainWindows: o.windows(120),
-				EvalWindows:  o.windows(120),
-				Workers:      nested,
+				Feature:        analytic.FeatureEntropy,
+				WindowSize:     1000,
+				TrainWindows:   o.windows(120),
+				EvalWindows:    o.windows(120),
+				Workers:        nested,
+				SkipEmpiricalR: true,
 			})
 			if err != nil {
 				return nil, err

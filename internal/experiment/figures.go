@@ -202,10 +202,11 @@ func Fig5a(o Options) (*Table, error) {
 			return err
 		}
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   n,
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			Workers:      o.nestedWorkers(len(sigmas)),
+			WindowSize:     n,
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			Workers:        o.nestedWorkers(len(sigmas)),
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureVariance, analytic.FeatureEntropy, analytic.FeatureMean})
 		if err != nil {
 			return err
@@ -292,10 +293,11 @@ func Fig6(o Options) (*Table, error) {
 			return err
 		}
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   n,
-			TrainWindows: o.windows(120),
-			EvalWindows:  o.windows(120),
-			Workers:      o.nestedWorkers(len(utils)),
+			WindowSize:     n,
+			TrainWindows:   o.windows(120),
+			EvalWindows:    o.windows(120),
+			Workers:        o.nestedWorkers(len(utils)),
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy})
 		if err != nil {
 			return err
@@ -349,10 +351,11 @@ func fig8(o Options, id, title string, hops []core.HopSpec, note string) (*Table
 			return err
 		}
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   n,
-			TrainWindows: o.windows(100),
-			EvalWindows:  o.windows(100),
-			Workers:      o.nestedWorkers(len(hours)),
+			WindowSize:     n,
+			TrainWindows:   o.windows(100),
+			EvalWindows:    o.windows(100),
+			Workers:        o.nestedWorkers(len(hours)),
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureMean, analytic.FeatureVariance, analytic.FeatureEntropy})
 		if err != nil {
 			return err

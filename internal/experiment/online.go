@@ -101,10 +101,11 @@ func AblationWindowing(o Options) (*Table, error) {
 		workers := o.nestedWorkers(len(models))
 		// Replica protocol: i.i.d. windows, matched sample budget.
 		set, err := sys.RunAttackSet(core.AttackConfig{
-			WindowSize:   n,
-			TrainWindows: trainWindows,
-			EvalWindows:  evalSessions * maxWindows,
-			Workers:      workers,
+			WindowSize:     n,
+			TrainWindows:   trainWindows,
+			EvalWindows:    evalSessions * maxWindows,
+			Workers:        workers,
+			SkipEmpiricalR: true,
 		}, []analytic.Feature{analytic.FeatureEntropy})
 		if err != nil {
 			return err

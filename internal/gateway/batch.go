@@ -1,0 +1,62 @@
+package gateway
+
+import "linkpad/internal/slab"
+
+// Batched generation (batch.go): the gateway can emit a slab of padded
+// departures in one call. The batch loop replays NextPacket's exact
+// per-fire logic — queue observation, designed interval, arrival
+// admission, jitter draw — via the shared fire method, so an n-packet
+// batch draws the identical variates in the identical order as n
+// NextPacket calls and the departure stream is bit-identical (enforced
+// by the equivalence tests). The loop hoists the per-call interface
+// dispatch: the QueueObserver assertion happens once per slab, and the
+// dominant CIT policy's constant interval is read once instead of
+// through a method call per fire.
+
+// NextBatch fills dst with the departure times of the next len(dst)
+// padded packets, equivalent to len(dst) Next calls.
+func (g *Gateway) NextBatch(dst []float64) {
+	g.nextSlab(dst, nil)
+}
+
+// NextSlab fills s with the next n padded packets: departure times plus
+// the slab.FlagDummy bit on packets that carry no payload (ground truth
+// the adversary never sees). The slab is reset and grown to n.
+func (g *Gateway) NextSlab(s *slab.Slab, n int) {
+	s.Grow(n)
+	g.nextSlab(s.Times, s.Flags)
+}
+
+// nextSlab is the shared batch loop; flags may be nil when the caller
+// only needs timestamps.
+func (g *Gateway) nextSlab(dst []float64, flags []uint8) {
+	if len(dst) == 0 {
+		return
+	}
+	if !g.started {
+		g.started = true
+		g.nextArrival = g.cfg.Payload.Next()
+	}
+	obs, hasObs := g.cfg.Policy.(QueueObserver)
+	cit, isCIT := g.cfg.Policy.(*CIT)
+	for i := range dst {
+		if hasObs {
+			obs.ObserveQueue(g.QueueLen())
+		}
+		var interval float64
+		if isCIT {
+			interval = cit.tau
+		} else {
+			interval = g.cfg.Policy.NextInterval()
+		}
+		t, dummy := g.fire(interval)
+		dst[i] = t
+		if flags != nil {
+			var f uint8
+			if dummy {
+				f = slab.FlagDummy
+			}
+			flags[i] = f
+		}
+	}
+}

@@ -350,7 +350,15 @@ func (g *Gateway) NextPacket() (departure float64, dummy bool) {
 	if qa, ok := g.cfg.Policy.(QueueObserver); ok {
 		qa.ObserveQueue(g.QueueLen())
 	}
-	g.sched += g.cfg.Policy.NextInterval()
+	return g.fire(g.cfg.Policy.NextInterval())
+}
+
+// fire advances the gateway by one timer fire whose designed interval has
+// already been drawn (and the queue observed, for adaptive policies): the
+// single per-packet body shared by the pull path and the batch loop, so
+// the two cannot drift apart.
+func (g *Gateway) fire(interval float64) (departure float64, dummy bool) {
+	g.sched += interval
 
 	// Admit every payload arrival up to the scheduled fire instant; each
 	// one is a NIC interrupt that may block the timer ISR.

@@ -123,6 +123,15 @@ func (m *Mix) Next() float64 {
 	return out
 }
 
+// NextBatch fills dst with the next len(dst) departures — exactly
+// len(dst) Next calls, exposed so downstream batched layers make one
+// virtual call per slab instead of one per packet.
+func (m *Mix) NextBatch(dst []float64) {
+	for i := range dst {
+		dst[i] = m.Next()
+	}
+}
+
 // MeanDelay returns the average time packets spent waiting in the mix
 // (departure − arrival), the QoS cost of batching.
 func (m *Mix) MeanDelay() float64 {

@@ -1,0 +1,286 @@
+package netem
+
+import (
+	"math"
+
+	"linkpad/internal/slab"
+	"linkpad/internal/traffic"
+)
+
+// Batched transforms (batch.go): every network element can process a
+// slab of packet times in one call. A NextBatch(dst) call is defined as
+// exactly equivalent to len(dst) successive Next() calls on the same
+// element — each element owns its *xrand.Rand and the batch loop replays
+// the identical per-packet draw sequence — so the emitted stream is
+// bit-identical to the pull-driven one (enforced by the equivalence
+// tests in batch_test.go).
+//
+// One-to-one elements (FastRouter, Router, Quantizer, Differ) transform
+// the slab in place on top of their upstream's batch, so a whole chain
+// batches through a single []float64 with no per-layer buffers and one
+// interface call per slab per layer instead of one per packet.
+//
+// Variable-rate elements (LossyTap, Impairer) consume a data-dependent
+// number of upstream packets per output. Their batch loops request
+// upstream chunks sized to the outputs still owed, which preserves the
+// output sequence and every layer's draw order exactly; an Impairer
+// whose duplication produced more outputs than requested keeps the
+// surplus queued for the next call, so its upstream may run ahead of the
+// pull-driven equivalent by less than one chunk. That lookahead is
+// invisible in the output and irrelevant to checkpointing: the
+// checkpointed protocols snapshot traffic sources, which are never
+// upstream of a mid-window Impairer batch.
+
+// BatchStream is a TimeStream that can produce a batch of event times in
+// one call. NextBatch fills dst entirely; it is equivalent to len(dst)
+// Next calls.
+type BatchStream interface {
+	TimeStream
+	NextBatch(dst []float64)
+}
+
+// FillBatch fills dst from s, using the batched path when s implements
+// BatchStream and falling back to one Next call per element otherwise.
+// Either way s advances by exactly len(dst) events.
+func FillBatch(s TimeStream, dst []float64) {
+	if b, ok := s.(BatchStream); ok {
+		b.NextBatch(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+}
+
+// NextBatch fills dst with the departure times of the next len(dst)
+// padded packets, sampling each packet's stationary wait exactly as Next
+// does. The constant- and diurnal-utilization profiles are recognized
+// and devirtualized: a constant profile clamps once and caches log(ρ)
+// for the geometric ladder draw, a diurnal one calls the profile's
+// concrete method; any other Util goes through the interface per packet.
+func (r *FastRouter) NextBatch(dst []float64) {
+	FillBatch(r.upstream, dst)
+	rng, s, prop := r.rng, r.service, r.prop
+	lastOut, started := r.lastOut, r.started
+	switch u := r.util.(type) {
+	case constUtil:
+		rho := float64(u)
+		if rho < 0 {
+			rho = 0
+		}
+		if rho > maxRho {
+			rho = maxRho
+		}
+		if rho <= 0 {
+			// Dedicated link: no wait, no draws.
+			for i, t := range dst {
+				out := t + s + prop
+				if started && out < lastOut+s {
+					out = lastOut + s
+				}
+				started = true
+				lastOut = out
+				dst[i] = out
+			}
+			break
+		}
+		logRho := math.Log(rho)
+		for i, t := range dst {
+			var w float64
+			for k := rng.GeometricLog(rho, logRho); k > 0; k-- {
+				w += s * rng.Float64()
+			}
+			out := t + w + s + prop
+			if started && out < lastOut+s {
+				out = lastOut + s
+			}
+			started = true
+			lastOut = out
+			dst[i] = out
+		}
+	case diurnalUtil:
+		// Diurnal.At and sampleMD1Wait are manually inlined here — both
+		// exceed the compiler's inlining budget, and at one call per
+		// packet per hop the call overhead is measurable. The arithmetic
+		// replays the originals' operations in the originals' order, so
+		// the stream stays bit-identical (enforced by the equivalence
+		// tests against the pull path, which calls the real functions).
+		d, startHour := u.d, u.startHour
+		trough, peak, troughHour := d.Trough, d.Peak, d.TroughHour
+		diff := peak - trough
+		for i, t := range dst {
+			hour := startHour + t/3600
+			if hour < 0 || hour >= 24 {
+				hour = math.Mod(hour, 24)
+			}
+			phase := 2 * math.Pi * (hour - troughHour) / 24
+			rho := trough + diff*(0.5*(1-math.Cos(phase)))
+			var w float64
+			if rho > 0 {
+				if rho > maxRho {
+					rho = maxRho
+				}
+				// Geometric(rho) inlined: one uniform resolves the
+				// dominant K = 0 case; u <= rho implies
+				// log(u)/log(rho) >= 1, so the floor is the ladder
+				// count directly (Geometric's K < 0 guard is
+				// unreachable here).
+				if u := rng.Float64Open(); u <= rho {
+					for k := math.Floor(math.Log(u) / math.Log(rho)); k > 0; k-- {
+						w += s * rng.Float64()
+					}
+				}
+			}
+			out := t + w + s + prop
+			if started && out < lastOut+s {
+				out = lastOut + s
+			}
+			started = true
+			lastOut = out
+			dst[i] = out
+		}
+	default:
+		for i, t := range dst {
+			rho := r.util.At(t)
+			if rho < 0 {
+				rho = 0
+			}
+			out := t + sampleMD1Wait(rho, s, rng) + s + prop
+			if started && out < lastOut+s {
+				out = lastOut + s
+			}
+			started = true
+			lastOut = out
+			dst[i] = out
+		}
+	}
+	r.lastOut, r.started = lastOut, started
+}
+
+// NextBatch fills dst with exact-queue departures, advancing the Lindley
+// recursion over the batched upstream slab. The exact queue serves many
+// cross packets per padded packet, so the cross gaps are the hottest
+// draw in the simulator: when the cross source batches, its gaps are
+// pre-drawn a slab at a time into crossBuf (same draws, same order — the
+// buffer only changes when the RNG is read, which nothing observes) and
+// the Lindley loop consumes plain slice elements.
+func (r *Router) NextBatch(dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if !r.started {
+		r.started = true
+		if r.cross != nil {
+			r.nextCross = r.cross.Next()
+		}
+	}
+	FillBatch(r.upstream, dst)
+	crossBatch, _ := r.cross.(traffic.BatchSource)
+	service, prop := r.service, r.prop
+	free, nextCross := r.free, r.nextCross
+	buf, idx := r.crossBuf, r.crossIdx
+	for i, t := range dst {
+		// Serve all cross packets arriving strictly before the padded
+		// packet.
+		for nextCross < t {
+			if nextCross > free {
+				free = nextCross
+			}
+			free += service
+			if idx < len(buf) {
+				nextCross += buf[idx]
+				idx++
+			} else if crossBatch != nil {
+				if buf == nil {
+					buf = make([]float64, slab.DefaultLen)
+				}
+				crossBatch.NextBatch(buf)
+				nextCross += buf[0]
+				idx = 1
+			} else {
+				nextCross += r.cross.Next()
+			}
+		}
+		if t > free {
+			free = t
+		}
+		free += service
+		dst[i] = free + prop
+	}
+	r.free, r.nextCross = free, nextCross
+	r.crossBuf, r.crossIdx = buf, idx
+}
+
+// NextBatch fills dst with quantized packet times.
+func (q *Quantizer) NextBatch(dst []float64) {
+	FillBatch(q.upstream, dst)
+	res := q.res
+	for i, t := range dst {
+		dst[i] = math.Floor(t/res) * res
+	}
+}
+
+// NextBatch fills dst with the next len(dst) captured packet times. The
+// upstream is consumed in chunks sized to the captures still owed —
+// survivors never exceed the chunk, so the upstream advances by exactly
+// the packets the pull-driven tap would have consumed.
+func (l *LossyTap) NextBatch(dst []float64) {
+	if l.p == 0 {
+		FillBatch(l.upstream, dst)
+		return
+	}
+	out := 0
+	for out < len(dst) {
+		need := len(dst) - out
+		if cap(l.buf) < need {
+			l.buf = make([]float64, need)
+		}
+		chunk := l.buf[:need]
+		FillBatch(l.upstream, chunk)
+		for _, t := range chunk {
+			if !l.rng.Bernoulli(l.p) {
+				dst[out] = t
+				out++
+			}
+		}
+	}
+}
+
+// NextBatch fills dst with the next len(dst) inter-arrival times,
+// differencing the upstream batch in place.
+func (d *Differ) NextBatch(dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if !d.started {
+		d.started = true
+		d.prev = d.src.Next()
+	}
+	FillBatch(d.src, dst)
+	prev := d.prev
+	for i, t := range dst {
+		dst[i] = t - prev
+		prev = t
+	}
+	d.prev = prev
+	d.count += uint64(len(dst))
+}
+
+// skipBatched discards n PIATs through the batched path.
+func (d *Differ) skipBatched(n int) {
+	buf := make([]float64, min(n, slab.DefaultLen))
+	for n > 0 {
+		k := min(len(buf), n)
+		d.NextBatch(buf[:k])
+		n -= k
+	}
+}
+
+var (
+	_ BatchStream = (*FastRouter)(nil)
+	_ BatchStream = (*Router)(nil)
+	_ BatchStream = (*Quantizer)(nil)
+	_ BatchStream = (*LossyTap)(nil)
+	_ BatchStream = (*Differ)(nil)
+	_ BatchStream = (*Impairer)(nil)
+)

@@ -1,0 +1,329 @@
+package netem
+
+import (
+	"testing"
+
+	"linkpad/internal/traffic"
+	"linkpad/internal/xrand"
+)
+
+// mkChain builds one netem element (over a Poisson-fed base stream) from
+// a seed; each case's factory is called twice so the pull-driven and
+// batched instances draw from identically-seeded generators.
+func netemBatchCases(t *testing.T) map[string]func(seed uint64) BatchStream {
+	t.Helper()
+	base := func(master *xrand.Rand) TimeStream {
+		p, err := traffic.NewPoisson(100, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An absolute-time stream: cumulative Poisson arrivals.
+		return &cumStream{src: p}
+	}
+	fast := func(util Util) func(seed uint64) BatchStream {
+		return func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			r, err := NewFastRouter(up, 1e-4, util, 1e-3, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+	}
+	impair := func(im *Impairment) func(seed uint64) BatchStream {
+		return func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			p, err := NewImpairer(up, im, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+	}
+	return map[string]func(seed uint64) BatchStream{
+		"fastrouter-idle":     fast(ConstUtil(0)),
+		"fastrouter-const":    fast(ConstUtil(0.6)),
+		"fastrouter-overload": fast(ConstUtil(1.4)),
+		"fastrouter-diurnal":  fast(DiurnalUtil(traffic.Diurnal{Trough: 0.2, Peak: 0.7, TroughHour: 3}, 9)),
+		"fastrouter-func": fast(UtilFunc(func(t float64) float64 {
+			return 0.3 + 0.2*float64(int(t)%2)
+		})),
+		"router-exact": func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			cross, err := traffic.NewPoisson(5000, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRouter(up, cross, 1e-4, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		"router-cbr-cross": func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			cross, err := traffic.NewCBR(5000, 1e-5, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRouter(up, cross, 1e-4, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		"lossytap": func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			l, err := NewLossyTap(up, 0.07, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		},
+		"lossytap-lossless": func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			l, err := NewLossyTap(up, 0, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		},
+		"quantizer": func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			q, err := NewQuantizer(up, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+		"impair-loss":    impair(&Impairment{LossProb: 0.1}),
+		"impair-dup":     impair(&Impairment{DupProb: 0.15}),
+		"impair-reorder": impair(&Impairment{ReorderProb: 0.1, ReorderDepth: 3}),
+		"impair-ge": impair(&Impairment{
+			GE: &GilbertElliott{PGoodBad: 0.02, PBadGood: 0.3, LossGood: 0.001, LossBad: 0.4},
+		}),
+		"impair-all": impair(&Impairment{
+			LossProb: 0.05, DupProb: 0.1, ReorderProb: 0.08, ReorderDepth: 4,
+			GE: &GilbertElliott{PGoodBad: 0.01, PBadGood: 0.2, LossGood: 0, LossBad: 0.5},
+		}),
+		"differ-chain": func(seed uint64) BatchStream {
+			master := xrand.New(seed)
+			up := base(master)
+			r, err := NewFastRouter(up, 1e-4, ConstUtil(0.5), 1e-3, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewDiffer(r)
+		},
+	}
+}
+
+// cumStream turns a gap source into an absolute-time stream.
+type cumStream struct {
+	src traffic.Source
+	now float64
+}
+
+func (c *cumStream) Next() float64 {
+	c.now += c.src.Next()
+	return c.now
+}
+
+func (c *cumStream) NextBatch(dst []float64) {
+	if b, ok := c.src.(traffic.BatchSource); ok {
+		b.NextBatch(dst)
+	} else {
+		for i := range dst {
+			dst[i] = c.src.Next()
+		}
+	}
+	now := c.now
+	for i := range dst {
+		now += dst[i]
+		dst[i] = now
+	}
+	c.now = now
+}
+
+// TestNetemBatchMatchesPull checks every netem element's NextBatch
+// against its per-packet Next across awkward chunk sizes: bit-identical
+// output streams.
+func TestNetemBatchMatchesPull(t *testing.T) {
+	const total = 6000
+	chunks := []int{1, 3, 17, 255, 4096}
+	for name, mk := range netemBatchCases(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []uint64{2, 23} {
+				pull := mk(seed)
+				batch := mk(seed)
+				want := make([]float64, total)
+				for i := range want {
+					want[i] = pull.Next()
+				}
+				got := make([]float64, 0, total)
+				for ci := 0; len(got) < total; ci++ {
+					k := min(chunks[ci%len(chunks)], total-len(got))
+					buf := make([]float64, k)
+					batch.NextBatch(buf)
+					got = append(got, buf...)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d event %d: batch %v != pull %v", seed, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferSkipAndPIATsBatched checks that the batched Skip and PIATs
+// paths leave the Differ in the bit-identical state as per-packet pulls.
+func TestDifferSkipAndPIATsBatched(t *testing.T) {
+	mk := func(seed uint64) *Differ {
+		master := xrand.New(seed)
+		p, err := traffic.NewPoisson(100, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewFastRouter(&cumStream{src: p}, 1e-4, ConstUtil(0.5), 1e-3, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewDiffer(r)
+	}
+	pull, batch := mk(7), mk(7)
+	for i := 0; i < 5000; i++ {
+		pull.Next()
+	}
+	batch.Skip(5000)
+	if pull.Now() != batch.Now() || pull.Observed() != batch.Observed() {
+		t.Fatalf("after skip: pull (%v, %d) != batch (%v, %d)",
+			pull.Now(), pull.Observed(), batch.Now(), batch.Observed())
+	}
+	want := make([]float64, 700)
+	for i := range want {
+		want[i] = pull.Next()
+	}
+	got := batch.PIATs(700)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PIAT %d: batch %v != pull %v", i, got[i], want[i])
+		}
+	}
+}
+
+// benchPullBatch reports both traversal modes of one element, one packet
+// per iteration either way, so ns/op compares directly: the pull mode
+// calls Next per packet, the batch mode amortizes a whole slab.
+func benchPullBatch(b *testing.B, mk func() BatchStream) {
+	b.Run("pull", func(b *testing.B) {
+		s := mk()
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += s.Next()
+		}
+		_ = sink
+	})
+	b.Run("batch", func(b *testing.B) {
+		s := mk()
+		buf := make([]float64, 4096)
+		s.NextBatch(buf) // warm internal buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(buf) {
+			s.NextBatch(buf)
+		}
+	})
+}
+
+// BenchmarkPathHop measures the FastRouter hot path — the inner loop of
+// every multi-hop experiment — in both traversal modes, at the constant
+// and diurnal profiles.
+func BenchmarkPathHop(b *testing.B) {
+	mk := func(util Util) func() BatchStream {
+		return func() BatchStream {
+			master := xrand.New(1)
+			p, err := traffic.NewPoisson(100, master.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := NewFastRouter(&cumStream{src: p}, 1e-4, util, 1e-3, master.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r
+		}
+	}
+	b.Run("const", func(b *testing.B) { benchPullBatch(b, mk(ConstUtil(0.6))) })
+	b.Run("diurnal", func(b *testing.B) {
+		benchPullBatch(b, mk(DiurnalUtil(traffic.Diurnal{Trough: 0.2, Peak: 0.7, TroughHour: 3}, 9)))
+	})
+}
+
+// BenchmarkExactHop measures the exact FIFO router with Poisson cross
+// traffic at 25 cross packets per padded packet (the validate-exactnet
+// regime) in both traversal modes.
+func BenchmarkExactHop(b *testing.B) {
+	benchPullBatch(b, func() BatchStream {
+		master := xrand.New(1)
+		p, err := traffic.NewPoisson(100, master.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross, err := traffic.NewPoisson(2500, master.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewRouter(&cumStream{src: p}, cross, 1e-4, 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	})
+}
+
+// BenchmarkImpairSlab measures the Impairer with every knob on in both
+// traversal modes.
+func BenchmarkImpairSlab(b *testing.B) {
+	benchPullBatch(b, func() BatchStream {
+		master := xrand.New(1)
+		p, err := traffic.NewPoisson(100, master.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		im := &Impairment{
+			LossProb: 0.05, DupProb: 0.1, ReorderProb: 0.08, ReorderDepth: 4,
+			GE: &GilbertElliott{PGoodBad: 0.01, PBadGood: 0.2, LossGood: 0, LossBad: 0.5},
+		}
+		imp, err := NewImpairer(&cumStream{src: p}, im, master.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return imp
+	})
+}
+
+// TestNetemBatchAllocFree pins each batched element at zero allocations
+// per slab in steady state (internal chunk buffers are warmed by one
+// prior slab).
+func TestNetemBatchAllocFree(t *testing.T) {
+	buf := make([]float64, 4096)
+	for name, mk := range netemBatchCases(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(1)
+			s.NextBatch(buf)
+			if n := testing.AllocsPerRun(10, func() { s.NextBatch(buf) }); n != 0 {
+				t.Fatalf("NextBatch allocates %v times per slab; want 0", n)
+			}
+		})
+	}
+}

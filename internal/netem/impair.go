@@ -179,6 +179,7 @@ type Impairer struct {
 	held     []heldPacket
 	q        []float64 // pending emissions, FIFO
 	qi       int
+	buf      []float64 // reusable upstream chunk for the batched path
 }
 
 // NewImpairer wraps upstream with the impairment profile. A nil or
@@ -218,44 +219,86 @@ func (p *Impairer) Next() float64 {
 			}
 			return t
 		}
-		t := p.upstream.Next()
-		if p.ge != nil && p.ge.lost(p.rng) {
-			continue
-		}
-		if p.im.LossProb > 0 && p.rng.Bernoulli(p.im.LossProb) {
-			continue
-		}
-		dup := p.im.DupProb > 0 && p.rng.Bernoulli(p.im.DupProb)
-		if p.im.ReorderProb > 0 && p.rng.Bernoulli(p.im.ReorderProb) && len(p.held) < cap(p.held) {
-			// Hold this packet back; it re-emerges at the timestamp of the
-			// ReorderDepth-th surviving packet after it. A duplicate of a
-			// held packet is held with it (the pair travels together).
-			n := 1
-			if dup {
-				n = 2
-			}
-			for i := 0; i < n; i++ {
-				p.held = append(p.held, heldPacket{remaining: p.im.ReorderDepth})
-			}
-			continue
-		}
-		// This packet survives in place: emit it (and its duplicate), then
-		// release any held packets whose displacement is exhausted, at this
-		// packet's timestamp.
-		p.q = append(p.q, t)
+		p.process(p.upstream.Next())
+	}
+}
+
+// process runs one upstream packet through the impairment's per-packet
+// draw sequence (GE transition+loss, i.i.d. loss, duplication, reorder
+// trigger), appending every resulting emission to the pending queue.
+// Shared verbatim by the pull and batch paths, so they cannot drift.
+func (p *Impairer) process(t float64) {
+	if p.ge != nil && p.ge.lost(p.rng) {
+		return
+	}
+	if p.im.LossProb > 0 && p.rng.Bernoulli(p.im.LossProb) {
+		return
+	}
+	dup := p.im.DupProb > 0 && p.rng.Bernoulli(p.im.DupProb)
+	if p.im.ReorderProb > 0 && p.rng.Bernoulli(p.im.ReorderProb) && len(p.held) < cap(p.held) {
+		// Hold this packet back; it re-emerges at the timestamp of the
+		// ReorderDepth-th surviving packet after it. A duplicate of a
+		// held packet is held with it (the pair travels together).
+		n := 1
 		if dup {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			p.held = append(p.held, heldPacket{remaining: p.im.ReorderDepth})
+		}
+		return
+	}
+	// This packet survives in place: emit it (and its duplicate), then
+	// release any held packets whose displacement is exhausted, at this
+	// packet's timestamp.
+	p.q = append(p.q, t)
+	if dup {
+		p.q = append(p.q, t)
+	}
+	live := p.held[:0]
+	for _, h := range p.held {
+		h.remaining--
+		if h.remaining <= 0 {
 			p.q = append(p.q, t)
+		} else {
+			live = append(live, h)
 		}
-		live := p.held[:0]
-		for _, h := range p.held {
-			h.remaining--
-			if h.remaining <= 0 {
-				p.q = append(p.q, t)
-			} else {
-				live = append(live, h)
-			}
+	}
+	p.held = live
+}
+
+// drain moves pending emissions into dst[out:], returning the new out.
+func (p *Impairer) drain(dst []float64, out int) int {
+	for p.qi < len(p.q) && out < len(dst) {
+		dst[out] = p.q[p.qi]
+		out++
+		p.qi++
+	}
+	if p.qi == len(p.q) {
+		p.q = p.q[:0]
+		p.qi = 0
+	}
+	return out
+}
+
+// NextBatch fills dst with the next len(dst) impaired packet times. The
+// upstream is consumed in chunks sized to the outputs still owed;
+// duplication can briefly overproduce, and the surplus stays queued for
+// the next call — the emitted sequence is bit-identical to the pull
+// path's.
+func (p *Impairer) NextBatch(dst []float64) {
+	out := p.drain(dst, 0)
+	for out < len(dst) {
+		need := len(dst) - out
+		if cap(p.buf) < need {
+			p.buf = make([]float64, need)
 		}
-		p.held = live
+		chunk := p.buf[:need]
+		FillBatch(p.upstream, chunk)
+		for _, t := range chunk {
+			p.process(t)
+		}
+		out = p.drain(dst, out)
 	}
 }
 

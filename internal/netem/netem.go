@@ -60,17 +60,52 @@ func MD1WaitVar(rho, s float64) float64 {
 	return rho/q*s*s/12 + rho/(q*q)*s*s/4
 }
 
-// UtilFunc gives the crossover-traffic utilization of a router's outgoing
-// link at absolute time t (seconds since the run began).
+// Util gives the crossover-traffic utilization of a router's outgoing
+// link at absolute time t (seconds since the run began). It is an
+// interface rather than a func type so the batched router loop can
+// recognize the two concrete profiles the simulator uses — constant and
+// diurnal — and devirtualize the per-packet utilization lookup; any
+// other implementation (including a plain UtilFunc closure) works
+// through the generic path.
+type Util interface {
+	At(t float64) float64
+}
+
+// UtilFunc adapts an arbitrary function to the Util interface.
 type UtilFunc func(t float64) float64
 
-// ConstUtil returns a UtilFunc that is flat at u.
-func ConstUtil(u float64) UtilFunc { return func(float64) float64 { return u } }
+// At returns f(t).
+func (f UtilFunc) At(t float64) float64 { return f(t) }
+
+// constUtil is the flat profile, recognized by the batched router loop.
+type constUtil float64
+
+// At returns the constant utilization.
+func (c constUtil) At(float64) float64 { return float64(c) }
+
+// ConstUtil returns a Util that is flat at u.
+func ConstUtil(u float64) Util { return constUtil(u) }
+
+// diurnalUtil anchors a traffic.Diurnal profile to a run's start hour,
+// recognized by the batched router loop.
+type diurnalUtil struct {
+	d         traffic.Diurnal
+	startHour float64
+}
+
+// At returns the profile's utilization at absolute run time t.
+func (u diurnalUtil) At(t float64) float64 { return u.d.At(u.startHour + t/3600) }
 
 // DiurnalUtil adapts a traffic.Diurnal profile: simulation time zero is
-// startHour o'clock.
-func DiurnalUtil(d traffic.Diurnal, startHour float64) UtilFunc {
-	return func(t float64) float64 { return d.At(startHour + t/3600) }
+// startHour o'clock. A flat profile (Peak == Trough) collapses to the
+// constant Util: Diurnal.At returns exactly Trough for it at every hour,
+// so the substitution is bit-identical and lets the batched router loop
+// take its draw-cheap constant path.
+func DiurnalUtil(d traffic.Diurnal, startHour float64) Util {
+	if d.Peak == d.Trough {
+		return constUtil(d.Trough)
+	}
+	return diurnalUtil{d: d, startHour: startHour}
 }
 
 // maxRho caps utilization for the stationary sampler; above it the
@@ -84,7 +119,7 @@ const maxRho = 0.95
 type FastRouter struct {
 	upstream TimeStream
 	service  float64
-	util     UtilFunc
+	util     Util
 	prop     float64
 	rng      *xrand.Rand
 	lastOut  float64
@@ -93,7 +128,7 @@ type FastRouter struct {
 
 // NewFastRouter creates a sampled router. service must be positive, util
 // non-nil, prop non-negative.
-func NewFastRouter(upstream TimeStream, service float64, util UtilFunc, prop float64, rng *xrand.Rand) (*FastRouter, error) {
+func NewFastRouter(upstream TimeStream, service float64, util Util, prop float64, rng *xrand.Rand) (*FastRouter, error) {
 	if upstream == nil {
 		return nil, errors.New("netem: nil upstream")
 	}
@@ -135,7 +170,7 @@ func sampleMD1Wait(rho, s float64, rng *xrand.Rand) float64 {
 // service time after its predecessor.
 func (r *FastRouter) Next() float64 {
 	t := r.upstream.Next()
-	rho := r.util(t)
+	rho := r.util.At(t)
 	if rho < 0 {
 		rho = 0
 	}
@@ -159,6 +194,14 @@ type Router struct {
 	free      float64 // time the server becomes free
 	nextCross float64
 	started   bool
+	// crossBuf[crossIdx:] holds cross-arrival gaps pre-drawn by the
+	// batched path (one bulk NextBatch on the cross source instead of a
+	// draw per cross packet). The gaps are consumed in draw order by
+	// both Next and NextBatch, so the output stream is bit-identical to
+	// the unbuffered recursion; only the cross RNG's read-ahead differs,
+	// which nothing observes (routers are not checkpointable).
+	crossBuf []float64
+	crossIdx int
 }
 
 // NewRouter creates an exact router. cross may be nil for a dedicated
@@ -192,7 +235,7 @@ func (r *Router) Next() float64 {
 			r.free = r.nextCross
 		}
 		r.free += r.service
-		r.nextCross += r.cross.Next()
+		r.nextCross += r.nextCrossGap()
 	}
 	if t > r.free {
 		r.free = t
@@ -201,12 +244,23 @@ func (r *Router) Next() float64 {
 	return r.free + r.prop
 }
 
+// nextCrossGap returns the next cross-arrival gap: a pre-drawn one if
+// the batched path left any buffered, a fresh draw otherwise.
+func (r *Router) nextCrossGap() float64 {
+	if r.crossIdx < len(r.crossBuf) {
+		g := r.crossBuf[r.crossIdx]
+		r.crossIdx++
+		return g
+	}
+	return r.cross.Next()
+}
+
 // Hop describes one router on a path.
 type Hop struct {
 	// Service is the per-packet transmission time on the outgoing link.
 	Service float64
 	// Util is the crossover utilization profile of the outgoing link.
-	Util UtilFunc
+	Util Util
 	// Prop is the constant propagation delay to the next hop.
 	Prop float64
 }
@@ -234,7 +288,7 @@ func NewPath(upstream TimeStream, hops []Hop, rng *xrand.Rand) (TimeStream, erro
 }
 
 // UniformHops builds n identical hops.
-func UniformHops(n int, service float64, util UtilFunc, prop float64) []Hop {
+func UniformHops(n int, service float64, util Util, prop float64) []Hop {
 	hops := make([]Hop, n)
 	for i := range hops {
 		hops[i] = Hop{Service: service, Util: util, Prop: prop}
@@ -284,6 +338,13 @@ func (d *Differ) Observed() uint64 { return d.count }
 // network queues) past its transient while the adversary is not yet
 // watching. The stream clock still advances.
 func (d *Differ) Skip(n int) {
+	if n <= 0 {
+		return
+	}
+	if _, ok := d.src.(BatchStream); ok {
+		d.skipBatched(n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		d.Next()
 	}
@@ -292,9 +353,7 @@ func (d *Differ) Skip(n int) {
 // PIATs collects n inter-arrival times.
 func (d *Differ) PIATs(n int) []float64 {
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = d.Next()
-	}
+	d.NextBatch(out)
 	return out
 }
 
@@ -305,6 +364,7 @@ type LossyTap struct {
 	upstream TimeStream
 	p        float64
 	rng      *xrand.Rand
+	buf      []float64 // reusable upstream chunk for the batched path
 }
 
 // NewLossyTap creates a lossy tap with loss probability 0 <= p < 1.

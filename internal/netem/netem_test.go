@@ -341,14 +341,14 @@ func TestPathNoiseGrowsWithHops(t *testing.T) {
 func TestDiurnalUtil(t *testing.T) {
 	d := traffic.Diurnal{Trough: 0.05, Peak: 0.35, TroughHour: 3}
 	u := DiurnalUtil(d, 0) // run starts at midnight
-	if got := u(3 * 3600); math.Abs(got-0.05) > 1e-12 {
-		t.Errorf("u(3h) = %v", got)
+	if got := u.At(3 * 3600); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("u.At(3h) = %v", got)
 	}
-	if got := u(15 * 3600); math.Abs(got-0.35) > 1e-12 {
-		t.Errorf("u(15h) = %v", got)
+	if got := u.At(15 * 3600); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("u.At(15h) = %v", got)
 	}
 	u2 := DiurnalUtil(d, 3) // run starts at 3 AM
-	if got := u2(0); math.Abs(got-0.05) > 1e-12 {
+	if got := u2.At(0); math.Abs(got-0.05) > 1e-12 {
 		t.Errorf("start-hour offset broken: %v", got)
 	}
 }

@@ -1,0 +1,47 @@
+package slab
+
+import "testing"
+
+func TestGrowReuse(t *testing.T) {
+	s := New(8)
+	if s.Len() != 0 {
+		t.Fatalf("new slab: Len = %d, want 0", s.Len())
+	}
+	s.Grow(8)
+	if s.Len() != 8 {
+		t.Fatalf("after Grow(8): Len = %d, want 8", s.Len())
+	}
+	s.Times[0] = 1.5
+	s.Flags[0] = FlagDummy
+	p := &s.Times[0]
+	s.Grow(4)
+	if s.Len() != 4 {
+		t.Fatalf("after Grow(4): Len = %d, want 4", s.Len())
+	}
+	if &s.Times[0] != p {
+		t.Fatal("Grow within capacity reallocated")
+	}
+	s.Grow(32)
+	if s.Len() != 32 {
+		t.Fatalf("after Grow(32): Len = %d, want 32", s.Len())
+	}
+	if len(s.Flags) != 32 {
+		t.Fatalf("Flags length = %d, want 32", len(s.Flags))
+	}
+	s.Times[31] = 2.0
+	s.Flags[31] = FlagDummy
+}
+
+func TestReset(t *testing.T) {
+	s := New(4)
+	s.Grow(4)
+	s.Times[2] = 9
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("after Reset: Len = %d, want 0", s.Len())
+	}
+	s.Grow(4)
+	if s.Times[2] != 9 {
+		t.Fatal("Reset must not clear backing storage")
+	}
+}

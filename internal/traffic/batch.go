@@ -1,0 +1,83 @@
+package traffic
+
+// Batched generation (batch.go): every built-in Source can fill a flat
+// slab of inter-arrival gaps in one call instead of one gap per virtual
+// call. A NextBatch(gaps) call is defined as exactly equivalent to
+// len(gaps) successive Next() calls: each source owns its *xrand.Rand and
+// the batch loop replays the identical per-call logic, so the variate
+// draw order — and therefore the generated stream — is bit-identical.
+// The batch equivalence tests in batch_test.go enforce this for every
+// source type.
+
+// BatchSource is a Source that can generate a batch of gaps in one call.
+// NextBatch fills gaps entirely; it is equivalent to len(gaps) Next
+// calls.
+type BatchSource interface {
+	Source
+	NextBatch(gaps []float64)
+}
+
+// FillGaps fills gaps from src, using the batched path when src
+// implements BatchSource and falling back to one Next call per gap
+// otherwise. Either way the source advances by exactly len(gaps) gaps.
+func FillGaps(src Source, gaps []float64) {
+	if b, ok := src.(BatchSource); ok {
+		b.NextBatch(gaps)
+		return
+	}
+	for i := range gaps {
+		gaps[i] = src.Next()
+	}
+}
+
+// NextBatch fills gaps with i.i.d. exponential inter-arrival gaps.
+func (p *Poisson) NextBatch(gaps []float64) {
+	mean := 1 / p.rate
+	rng := p.rng
+	for i := range gaps {
+		gaps[i] = rng.Exp(mean)
+	}
+}
+
+// NextBatch fills gaps with jittered constant-rate gaps.
+func (c *CBR) NextBatch(gaps []float64) {
+	if c.jitter == 0 {
+		for i := range gaps {
+			gaps[i] = c.interval
+		}
+		return
+	}
+	interval, jitter, rng := c.interval, c.jitter, c.rng
+	for i := range gaps {
+		gaps[i] = interval + jitter*(rng.Float64()-0.5)
+	}
+}
+
+// NextBatch fills gaps from the Markov-modulated process, carrying the
+// burst phase across calls exactly as repeated Next calls do.
+func (s *OnOff) NextBatch(gaps []float64) {
+	for i := range gaps {
+		gaps[i] = s.Next()
+	}
+}
+
+// NextBatch fills gaps from the packet-train process.
+func (t *Train) NextBatch(gaps []float64) {
+	for i := range gaps {
+		gaps[i] = t.Next()
+	}
+}
+
+// NextBatch fills gaps with merged-stream gaps.
+func (s *Superpose) NextBatch(gaps []float64) {
+	for i := range gaps {
+		gaps[i], _ = s.NextFrom()
+	}
+}
+
+// NextBatch fills gaps with surviving-arrival gaps.
+func (g *Gated) NextBatch(gaps []float64) {
+	for i := range gaps {
+		gaps[i] = g.Next()
+	}
+}

@@ -1,0 +1,320 @@
+package traffic
+
+import (
+	"fmt"
+	"testing"
+
+	"linkpad/internal/xrand"
+)
+
+// mkSource builds one of each source kind from a seed; the factory is
+// called twice per case so the pull-driven and batched instances draw
+// from identically-seeded generators.
+func batchCases(t *testing.T) map[string]func(seed uint64) BatchSource {
+	t.Helper()
+	mkSuper := func(k int) func(seed uint64) BatchSource {
+		return func(seed uint64) BatchSource {
+			master := xrand.New(seed)
+			srcs := make([]Source, k)
+			for i := range srcs {
+				p, err := NewPoisson(0.5+0.1*float64(i%7), master.Split())
+				if err != nil {
+					t.Fatal(err)
+				}
+				srcs[i] = p
+			}
+			s, err := NewSuperpose(srcs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	return map[string]func(seed uint64) BatchSource{
+		"poisson": func(seed uint64) BatchSource {
+			p, err := NewPoisson(3.2, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"cbr": func(seed uint64) BatchSource {
+			c, err := NewCBR(5, 0, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		"cbr-jitter": func(seed uint64) BatchSource {
+			c, err := NewCBR(5, 0.02, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		"onoff": func(seed uint64) BatchSource {
+			s, err := NewOnOff(10, 0.5, 1.5, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"train": func(seed uint64) BatchSource {
+			s, err := NewTrain(2, 5, 1e-3, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"gated": func(seed uint64) BatchSource {
+			master := xrand.New(seed)
+			p, err := NewPoisson(4, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := NewOnOffSchedule(2, 3, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGated(p, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"superpose-2":  mkSuper(2),
+		"superpose-8":  mkSuper(8),
+		"superpose-9":  mkSuper(9),
+		"superpose-64": mkSuper(64),
+	}
+}
+
+// TestNextBatchMatchesNext checks the batched-core determinism contract
+// at the source layer: NextBatch(dst) produces the bit-identical gap
+// sequence as len(dst) Next calls, across awkward chunk sizes.
+func TestNextBatchMatchesNext(t *testing.T) {
+	const total = 5000
+	chunks := []int{1, 3, 7, 64, 1021, 4096}
+	for name, mk := range batchCases(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 7, 99} {
+				pull := mk(seed)
+				batch := mk(seed)
+				want := make([]float64, total)
+				for i := range want {
+					want[i] = pull.Next()
+				}
+				got := make([]float64, 0, total)
+				for ci := 0; len(got) < total; ci++ {
+					k := min(chunks[ci%len(chunks)], total-len(got))
+					buf := make([]float64, k)
+					batch.NextBatch(buf)
+					got = append(got, buf...)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d gap %d: batch %v != pull %v", seed, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFillGaps checks the helper's fallback path against the batch path.
+func TestFillGaps(t *testing.T) {
+	a, err := NewPoisson(2, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoisson(2, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 100)
+	FillGaps(a, got)
+	for i := range got {
+		if w := b.Next(); got[i] != w {
+			t.Fatalf("gap %d: %v != %v", i, got[i], w)
+		}
+	}
+}
+
+// TestSuperposeHeapMatchesLinear drives the heap merge (k > 8) against a
+// reference Superpose forced onto the linear scan, including exact-tie
+// components (identical seeds → identical arrival times), to verify the
+// (time, index) heap order reproduces lowest-index-on-tie.
+func TestSuperposeHeapMatchesLinear(t *testing.T) {
+	build := func(k int) *Superpose {
+		srcs := make([]Source, k)
+		for i := range srcs {
+			// Deliberate seed collisions (i/2): adjacent components emit
+			// identical times, forcing tie-breaks every merge step.
+			p, err := NewPoisson(1.5, xrand.New(uint64(i/2)+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs[i] = p
+		}
+		s, err := NewSuperpose(srcs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for _, k := range []int{9, 16, 33, 64} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			heaped := build(k)
+			linear := build(k)
+			linear.heap = nil // force the reference onto the linear scan
+			if heaped.heap == nil {
+				t.Fatalf("k=%d should use the heap", k)
+			}
+			for i := 0; i < 20000; i++ {
+				gh, sh := heaped.NextFrom()
+				gl, sl := linear.NextFrom()
+				if gh != gl || sh != sl {
+					t.Fatalf("k=%d event %d: heap (%v, %d) != linear (%v, %d)", k, i, gh, sh, gl, sl)
+				}
+			}
+		})
+	}
+}
+
+// TestSuperposeRestoreRebuildsHeap checks that restoring a snapshot
+// re-establishes the merge heap over the restored arrival times.
+func TestSuperposeRestoreRebuildsHeap(t *testing.T) {
+	master := xrand.New(11)
+	k := 16
+	srcs := make([]Source, k)
+	for i := range srcs {
+		p, err := NewPoisson(2, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = p
+	}
+	s, err := NewSuperpose(srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.Next()
+	}
+	snap, err := Snapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 200)
+	for i := range want {
+		want[i] = s.Next()
+	}
+	if err := Restore(s, snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if g := s.Next(); g != want[i] {
+			t.Fatalf("gap %d after restore: %v != %v", i, g, want[i])
+		}
+	}
+}
+
+func BenchmarkSuperpose(b *testing.B) {
+	for _, k := range []int{4, 64, 256, 1024} {
+		srcs := make([]Source, k)
+		master := xrand.New(1)
+		for i := range srcs {
+			p, err := NewPoisson(1, master.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcs[i] = p
+		}
+		s, err := NewSuperpose(srcs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("heap/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += s.Next()
+			}
+			_ = sink
+		})
+		s.heap = nil
+		b.Run(fmt.Sprintf("linear/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += s.Next()
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestNextBatchAllocFree pins the batched sources at zero allocations
+// per slab in steady state.
+func TestNextBatchAllocFree(t *testing.T) {
+	buf := make([]float64, 4096)
+	for name, mk := range batchCases(t) {
+		t.Run(name, func(t *testing.T) {
+			src := mk(1)
+			src.NextBatch(buf)
+			if n := testing.AllocsPerRun(10, func() { src.NextBatch(buf) }); n != 0 {
+				t.Fatalf("NextBatch allocates %v times per slab; want 0", n)
+			}
+		})
+	}
+}
+
+// BenchmarkSourceSlab measures gap generation for each source in both
+// traversal modes, one gap per iteration, so pull vs batch ns/op compare
+// directly.
+func BenchmarkSourceSlab(b *testing.B) {
+	cases := map[string]func() BatchSource{
+		"poisson": func() BatchSource {
+			p, err := NewPoisson(40, xrand.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return p
+		},
+		"cbr-jitter": func() BatchSource {
+			c, err := NewCBR(40, 1e-4, xrand.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return c
+		},
+		"onoff": func() BatchSource {
+			o, err := NewOnOff(100, 0.5, 1.5, xrand.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return o
+		},
+	}
+	for name, mk := range cases {
+		b.Run(name, func(b *testing.B) {
+			b.Run("pull", func(b *testing.B) {
+				src := mk()
+				b.ReportAllocs()
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += src.Next()
+				}
+				_ = sink
+			})
+			b.Run("batch", func(b *testing.B) {
+				src := mk()
+				buf := make([]float64, 4096)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i += len(buf) {
+					src.NextBatch(buf)
+				}
+			})
+		})
+	}
+}

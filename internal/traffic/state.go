@@ -144,6 +144,8 @@ func Restore(s Source, st SourceState) error {
 		}
 		copy(src.next, st.Next)
 		src.now = *st.Now
+		// The restored component times invalidate the merge heap's order.
+		src.buildHeap()
 		return nil
 	case *Gated:
 		if st.Kind != "gated" || st.GateNow == nil || st.LastEmit == nil || len(st.Sub) != 1 {

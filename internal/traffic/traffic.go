@@ -225,7 +225,18 @@ type Superpose struct {
 	srcs []Source
 	next []float64 // absolute next-arrival time per component
 	now  float64   // absolute time of the last emitted arrival
+	// heap is a binary min-heap of component indices ordered by
+	// (next[i], i); nil for small merges, where the linear scan is faster
+	// than heap maintenance. Ordering by the (time, index) pair makes the
+	// heap's minimum identical to the linear scan's lowest-index-on-tie
+	// selection, so both implementations emit bit-identical streams.
+	heap []int32
 }
+
+// superposeLinearMax is the component count up to which the linear
+// min-scan beats the heap (measured in BenchmarkSuperpose; the population
+// engine's per-user merges sit at k=2, the paper's ablations below 8).
+const superposeLinearMax = 8
 
 // NewSuperpose merges the given sources (at least one, all non-nil).
 func NewSuperpose(srcs ...Source) (*Superpose, error) {
@@ -242,23 +253,79 @@ func NewSuperpose(srcs ...Source) (*Superpose, error) {
 		}
 		s.next[i] = src.Next()
 	}
+	s.buildHeap()
 	return s, nil
+}
+
+// less orders components by (next-arrival time, index): the strict-<
+// linear scan keeps the lowest index among equal times, and so does this
+// order's minimum.
+func (s *Superpose) less(a, b int32) bool {
+	ta, tb := s.next[a], s.next[b]
+	return ta < tb || (ta == tb && a < b)
+}
+
+// buildHeap (re)establishes the merge heap for large component counts;
+// small merges keep heap nil and use the linear scan.
+func (s *Superpose) buildHeap() {
+	if len(s.srcs) <= superposeLinearMax {
+		s.heap = nil
+		return
+	}
+	if s.heap == nil {
+		s.heap = make([]int32, len(s.srcs))
+	}
+	for i := range s.heap {
+		s.heap[i] = int32(i)
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below position i after next[heap[i]]
+// grew.
+func (s *Superpose) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && s.less(h[r], h[l]) {
+			m = r
+		}
+		if !s.less(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // NextFrom returns the gap until the next arrival of the merged stream
 // and the index of the component that produced it. Ties break toward the
 // lowest component index, deterministically.
 func (s *Superpose) NextFrom() (gap float64, src int) {
-	best := 0
-	for i := 1; i < len(s.next); i++ {
-		if s.next[i] < s.next[best] {
-			best = i
+	var best int
+	if s.heap != nil {
+		best = int(s.heap[0])
+	} else {
+		for i := 1; i < len(s.next); i++ {
+			if s.next[i] < s.next[best] {
+				best = i
+			}
 		}
 	}
 	t := s.next[best]
 	gap = t - s.now
 	s.now = t
 	s.next[best] = t + s.srcs[best].Next()
+	if s.heap != nil {
+		s.siftDown(0)
+	}
 	return gap, best
 }
 
@@ -308,7 +375,13 @@ func (d Diurnal) At(hour float64) float64 {
 		// per hop in the network simulator, so it must stay branch-cheap.
 		return d.Trough
 	}
-	hour = math.Mod(hour, 24) // keep the phase computation finite
+	if hour < 0 || hour >= 24 {
+		// math.Mod is the exact identity on [0, 24), so the common case —
+		// hours pre-wrapped by the caller or runs shorter than a day —
+		// skips the division. Out-of-range phases (multi-day runs) still
+		// wrap exactly as before.
+		hour = math.Mod(hour, 24) // keep the phase computation finite
+	}
 	phase := 2 * math.Pi * (hour - d.TroughHour) / 24
 	activity := 0.5 * (1 - math.Cos(phase)) // 0 at trough, 1 at trough+12h
 	return d.Trough + (d.Peak-d.Trough)*activity
