@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-compare bench-gate \
-	profile staticcheck docs golden golden-check resume-check ci clean
+	profile staticcheck docs golden golden-check resume-check report ci clean
 
 all: vet build test
 
@@ -32,6 +32,14 @@ bench-compare:
 # what the bench-trajectory CI job runs.
 bench-gate:
 	$(GO) run ./cmd/linkpadsim -bench-gate BENCH.json -bench-gate-pct 25
+
+# Smoke-scale run of every experiment with the live progress line and a
+# structured JSON run report (per-layer counters, packets/sec); the
+# report-smoke CI job runs the same thing and checks worker invariance.
+report:
+	$(GO) run ./cmd/linkpadsim -exp all -scale $(GOLDEN_SCALE) -seed $(GOLDEN_SEED) \
+		-progress -report report.json
+	@echo "wrote report.json"
 
 # CPU + heap profiles of the heaviest single experiment (the 15-hop WAN
 # diurnal path of fig8b); inspect with `go tool pprof cpu.prof`.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"linkpad/internal/experiment"
+	"linkpad/internal/obs"
 )
 
 // benchRecord is one -bench-json run: wall-clock per experiment at the
@@ -94,11 +95,18 @@ func gitTreeCommit() string {
 	return rev
 }
 
-// benchPoint times one experiment.
+// benchPoint times one experiment. Packets is the simulated packet
+// volume the experiment pushed through the padded links (gateway
+// payload + dummy emissions plus timed-mix packets, from the obs
+// counter delta around the run) — a deterministic function of
+// (experiment, scale, seed), so packets/sec trends are comparable
+// across records at the same options even as the code changes.
 type benchPoint struct {
-	ID      string  `json:"id"`
-	Seconds float64 `json:"seconds"`
-	Rows    int     `json:"rows"`
+	ID            string  `json:"id"`
+	Seconds       float64 `json:"seconds"`
+	Rows          int     `json:"rows"`
+	Packets       uint64  `json:"packets"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
 }
 
 // runBenchJSON executes the selected experiments, timing each, and
@@ -116,16 +124,25 @@ func runBenchJSON(ids []string, opts experiment.Options, path string) error {
 	total := time.Duration(0)
 	for _, id := range ids {
 		start := time.Now()
+		before := obs.Snapshot()
 		tbl, err := experiment.Run(id, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		elapsed := time.Since(start)
 		total += elapsed
+		var delta [obs.NumCounters]uint64
+		after := obs.Snapshot()
+		for c := range delta {
+			delta[c] = after[c] - before[c]
+		}
+		packets := obs.Packets(delta)
 		rec.Experiments = append(rec.Experiments, benchPoint{
-			ID:      id,
-			Seconds: elapsed.Seconds(),
-			Rows:    len(tbl.Rows),
+			ID:            id,
+			Seconds:       elapsed.Seconds(),
+			Rows:          len(tbl.Rows),
+			Packets:       packets,
+			PacketsPerSec: perSecond(packets, elapsed),
 		})
 		fmt.Fprintf(os.Stderr, "%s: %v\n", id, elapsed.Round(time.Millisecond))
 	}

@@ -6,11 +6,13 @@
 //	linkpadsim -list
 //	linkpadsim -exp fig4b [-scale 1.0] [-seed 1] [-format text|csv] [-workers N]
 //	linkpadsim -exp all -o results/
+//	linkpadsim -exp all -progress -report report.json
 //	linkpadsim -exp all -bench-json BENCH.json
 //	linkpadsim -bench-compare BENCH.json
 //	linkpadsim -bench-gate BENCH.json [-bench-gate-pct 25]
 //	linkpadsim -exp ext-disclosure -checkpoint cp.json [-checkpoint-kill N]
 //	linkpadsim -exp fig8b -cpuprofile cpu.out -memprofile mem.out
+//	linkpadsim -exp fig8b -metrics-addr localhost:6060
 //
 // Each experiment prints the series the corresponding paper figure plots;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -21,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"linkpad/internal/experiment"
+	"linkpad/internal/obs"
 )
 
 // exitKilled is the distinct exit code for a -checkpoint-kill simulated
@@ -36,7 +40,7 @@ import (
 const exitKilled = 3
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, experiment.ErrKilled) {
 			fmt.Fprintln(os.Stderr, "linkpadsim:", err)
 			os.Exit(exitKilled)
@@ -46,26 +50,36 @@ func main() {
 	}
 }
 
-func run() error {
+// run is the whole CLI behind a plain function boundary: flags parse
+// from args into a private FlagSet and all output goes to the given
+// writers, so tests drive every flag-validation path in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("linkpadsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID        = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list         = flag.Bool("list", false, "list available experiments")
-		scale        = flag.Float64("scale", 1.0, "Monte Carlo effort multiplier")
-		seed         = flag.Uint64("seed", 1, "master random seed")
-		workers      = flag.Int("workers", 0, "parallelism (0 = all CPUs); results are identical at any width")
-		format       = flag.String("format", "text", "output format: text or csv")
-		outDir       = flag.String("o", "", "write per-experiment files into this directory instead of stdout")
-		benchJSON    = flag.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
-		benchCompare = flag.String("bench-compare", "", "print per-experiment wall-clock deltas between the last two comparable records (same scale/seed/workers) of this bench trajectory file")
-		benchGate    = flag.String("bench-gate", "", "like -bench-compare, but exit non-zero if any experiment slowed down past -bench-gate-pct")
-		benchGatePct = flag.Float64("bench-gate-pct", 25, "per-experiment slowdown threshold for -bench-gate, in percent")
-		checkpoint   = flag.String("checkpoint", "", "persist per-cell progress of a checkpointable experiment to this file and resume from it if present")
-		cpKill       = flag.Int("checkpoint-kill", 0, "abort with a simulated crash after this many cells finish (requires -checkpoint; exit code 3)")
-		timeout      = flag.Duration("timeout", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
-		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		expID        = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		list         = fs.Bool("list", false, "list available experiments")
+		scale        = fs.Float64("scale", 1.0, "Monte Carlo effort multiplier")
+		seed         = fs.Uint64("seed", 1, "master random seed")
+		workers      = fs.Int("workers", 0, "parallelism (0 = all CPUs); results are identical at any width")
+		format       = fs.String("format", "text", "output format: text or csv")
+		outDir       = fs.String("o", "", "write per-experiment files into this directory instead of stdout")
+		report       = fs.String("report", "", "write a structured JSON run report (per-layer counters, packets/sec) to this file")
+		progress     = fs.Bool("progress", false, "emit a live progress line with a cells-completed ETA on stderr")
+		metricsAddr  = fs.String("metrics-addr", "", "serve expvar counters and net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		benchJSON    = fs.String("bench-json", "", "time the experiments and append a run record to this JSON trajectory file instead of printing tables")
+		benchCompare = fs.String("bench-compare", "", "print per-experiment wall-clock deltas between the last two comparable records (same scale/seed/workers) of this bench trajectory file")
+		benchGate    = fs.String("bench-gate", "", "like -bench-compare, but exit non-zero if any experiment slowed down past -bench-gate-pct")
+		benchGatePct = fs.Float64("bench-gate-pct", 25, "per-experiment slowdown threshold for -bench-gate, in percent")
+		checkpoint   = fs.String("checkpoint", "", "persist per-cell progress of a checkpointable experiment to this file and resume from it if present")
+		cpKill       = fs.Int("checkpoint-kill", 0, "abort with a simulated crash after this many cells finish (requires -checkpoint; exit code 3)")
+		timeout      = fs.Duration("timeout", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *timeout > 0 {
 		// A hard wall-clock guard for CI smoke steps: a wedged experiment
@@ -79,10 +93,10 @@ func run() error {
 		}()
 	}
 	if *benchCompare != "" {
-		return runBenchCompare(os.Stdout, *benchCompare)
+		return runBenchCompare(stdout, *benchCompare)
 	}
 	if *benchGate != "" {
-		return runBenchGate(os.Stdout, *benchGate, *benchGatePct)
+		return runBenchGate(stdout, *benchGate, *benchGatePct)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -105,14 +119,14 @@ func run() error {
 		defer func() {
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "linkpadsim: memprofile:", err)
+				fmt.Fprintln(stderr, "linkpadsim: memprofile:", err)
 			}
 			f.Close()
 		}()
 	}
 	if *list {
 		for _, id := range experiment.Names() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 		return nil
 	}
@@ -146,13 +160,37 @@ func run() error {
 			return fmt.Errorf("%s does not support checkpointing (cell experiments only)", ids[0])
 		}
 	}
+	if *report != "" && *benchJSON != "" {
+		return fmt.Errorf("-report and -bench-json are mutually exclusive (a bench record already carries the report's throughput fields)")
+	}
+
+	// Telemetry is off unless a consumer asked for it; the counters are
+	// deterministically invisible either way (golden tables byte-identical
+	// on or off, enforced by tests), so flipping this cannot change any
+	// table.
+	if *report != "" || *metricsAddr != "" || *benchJSON != "" {
+		obs.SetEnabled(true)
+	}
+	if *metricsAddr != "" {
+		stop, err := serveMetrics(*metricsAddr, stderr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	prog := newProgress(stderr, *progress)
+	prog.start(len(ids))
+	defer prog.stop()
 
 	if *benchJSON != "" {
 		return runBenchJSON(ids, opts, *benchJSON)
 	}
 
+	rep := newRunReport(opts)
 	for _, id := range ids {
 		start := time.Now()
+		before := obs.Snapshot()
 		var (
 			tbl *experiment.Table
 			err error
@@ -165,17 +203,20 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		out := os.Stdout
+		elapsed := time.Since(start)
+		rep.add(id, elapsed, len(tbl.Rows), before, obs.Snapshot())
+		out := io.Writer(stdout)
+		var file *os.File
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				return err
 			}
 			ext := map[string]string{"text": "txt", "csv": "csv"}[*format]
-			f, err := os.Create(filepath.Join(*outDir, id+"."+ext))
+			file, err = os.Create(filepath.Join(*outDir, id+"."+ext))
 			if err != nil {
 				return err
 			}
-			out = f
+			out = file
 		}
 		var werr error
 		if *format == "csv" {
@@ -183,17 +224,23 @@ func run() error {
 		} else {
 			werr = tbl.WriteText(out)
 		}
-		if out != os.Stdout {
-			if cerr := out.Close(); werr == nil {
+		if file != nil {
+			if cerr := file.Close(); werr == nil {
 				werr = cerr
 			}
-			fmt.Fprintf(os.Stderr, "%s: done in %v\n", id, time.Since(start).Round(time.Millisecond))
 		} else {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		if werr != nil {
 			return werr
 		}
+		prog.experimentDone(id, elapsed)
+	}
+	if *report != "" {
+		if err := rep.write(*report); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		fmt.Fprintf(stderr, "run report written to %s\n", *report)
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+
+	"linkpad/internal/obs"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and tests may spin the server up more than once per
+// process.
+var publishOnce sync.Once
+
+// serveMetrics starts the opt-in observability endpoint: expvar (with
+// the obs counters and progress gauges under "linkpad") at /debug/vars
+// and the net/http/pprof handlers at /debug/pprof/ on addr. The listen
+// happens synchronously so a bad address fails the run immediately;
+// serving then proceeds in the background for the run's duration. The
+// returned stop function closes the server and its listener.
+func serveMetrics(addr string, stderr io.Writer) (stop func(), err error) {
+	publishOnce.Do(func() {
+		expvar.Publish("linkpad", expvar.Func(func() any {
+			pr := obs.ReadProgress()
+			return map[string]any{
+				"counters": obs.SnapshotMap(),
+				"progress": map[string]int64{
+					"experiments_total": pr.ExpsTotal,
+					"experiments_done":  pr.ExpsDone,
+					"cells_total":       pr.CellsTotal,
+					"cells_done":        pr.CellsDone,
+				},
+			}
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics-addr: %w", err)
+	}
+	fmt.Fprintf(stderr, "metrics: expvar and pprof on http://%s/debug/\n", ln.Addr())
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	stopped := make(chan struct{})
+	go func() {
+		// Serve returns a listener-closed error on intentional shutdown;
+		// only unexpected failures are worth a line on stderr.
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			select {
+			case <-stopped:
+			default:
+				fmt.Fprintln(stderr, "metrics:", serr)
+			}
+		}
+	}()
+	return func() {
+		close(stopped)
+		srv.Close()
+	}, nil
+}

@@ -42,6 +42,7 @@ import (
 
 	"linkpad/internal/cascade"
 	"linkpad/internal/netem"
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -298,6 +299,10 @@ type Flow struct {
 	// Hops holds one overhead probe per padding hop, entry hop first
 	// (empty for unpadded flows).
 	Hops []cascade.HopProbe
+	// Probe is the flow's telemetry shard (nil when collection is
+	// disabled); the goroutine pulling Exit owns it and flushes it when
+	// the flow's observation finishes.
+	Probe *obs.Shard
 }
 
 // FlowBuilder produces flow f's watermarked observation. Implementations

@@ -219,6 +219,9 @@ func Detect(e *Engine, cfg Config) (*Result, error) {
 			buf = append(buf, t)
 		}
 		exits[worker] = buf
+		// The flow's observation is complete and this worker owns its
+		// telemetry shard: publish the chain's counters (nil-safe).
+		flow.Probe.Flush()
 		o.exitCount = len(buf)
 		o.stats = make([]float64, channels*slots)
 		slotStats(buf, start, e.period, slots,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"linkpad/internal/analytic"
+	"linkpad/internal/obs"
 	"linkpad/internal/par"
 	"linkpad/internal/slab"
 	"linkpad/internal/stats"
@@ -24,10 +25,19 @@ type batchPIATSource interface {
 func fillPIATs(src PIATSource, dst []float64) {
 	if b, ok := src.(batchPIATSource); ok {
 		b.NextBatch(dst)
-		return
+	} else {
+		for i := range dst {
+			dst[i] = src.Next()
+		}
 	}
-	for i := range dst {
-		dst[i] = src.Next()
+	if obs.Enabled() {
+		// Slab boundaries are where chain telemetry becomes visible: the
+		// chain's tail element (netem.Differ) carries the shard and
+		// drains it here, once per pulled slab.
+		obs.Count(obs.AdvSlab, 1)
+		if f, ok := src.(obs.Flusher); ok {
+			f.FlushObs()
+		}
 	}
 }
 
@@ -98,6 +108,7 @@ func (p *Pipeline) ExtractFrom(src PIATSource, n int) (float64, error) {
 	if n < 2 {
 		return 0, errors.New("adversary: window must hold at least two PIATs")
 	}
+	obs.Count(obs.AdvWindow, 1)
 	switch p.ext.Feature {
 	case analytic.FeatureMean, analytic.FeatureVariance:
 		var m stats.Moments
@@ -209,6 +220,7 @@ func (m *MultiPipeline) ExtractFrom(src PIATSource, n int, out []float64) error 
 	if n < 2 {
 		return errors.New("adversary: window must hold at least two PIATs")
 	}
+	obs.Count(obs.AdvWindow, 1)
 	if len(out) < len(m.exts) {
 		return errors.New("adversary: output slice shorter than extractor set")
 	}

@@ -37,6 +37,7 @@ import (
 
 	"linkpad/internal/gateway"
 	"linkpad/internal/netem"
+	"linkpad/internal/obs"
 	"linkpad/internal/xrand"
 )
 
@@ -168,6 +169,10 @@ type Route struct {
 	Entry *Recorder
 	// Hops holds one overhead probe per hop, entry hop first.
 	Hops []HopProbe
+	// Probe is the route's telemetry shard (nil when collection is
+	// disabled); the goroutine pulling Exit owns it and flushes it when
+	// the route's observation finishes.
+	Probe *obs.Shard
 }
 
 // NewRoute assembles a route observation.

@@ -188,6 +188,9 @@ func Correlate(e *Engine, cfg Config) (*Result, error) {
 			buf = append(buf, t)
 		}
 		exits[worker] = buf
+		// The route's observation is complete and this worker owns its
+		// telemetry shard: publish the chain's counters (nil-safe).
+		route.Probe.Flush()
 		o := &obs[f]
 		o.class = route.Class
 		o.exitCount = len(buf)

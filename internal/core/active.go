@@ -9,6 +9,7 @@ import (
 	"linkpad/internal/analytic"
 	"linkpad/internal/cascade"
 	"linkpad/internal/netem"
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -222,7 +223,7 @@ func (s *System) activeFlow(spec ActiveSpec, class, flow int, watermarked bool) 
 	if err != nil {
 		return nil, err
 	}
-	fl := &active.Flow{Class: class}
+	fl := &active.Flow{Class: class, Probe: obs.NewShard()}
 	var src traffic.Source = payload
 	if watermarked {
 		key, err := active.NewKey(spec.Chips, spec.Period,
@@ -258,12 +259,12 @@ func (s *System) activeFlow(spec ActiveSpec, class, flow int, watermarked bool) 
 			return s.activeRand(spec.Protocol, class, flow, h, activeRoleHop)
 		}, func(h int) *xrand.Rand {
 			return s.activeRand(spec.Protocol, class, flow, h, activeRoleOutage)
-		}, nil)
+		}, nil, fl.Probe)
 		if err != nil {
 			return nil, err
 		}
 		exit, err := s.observationChain(stream,
-			s.activeRand(spec.Protocol, class, flow, len(spec.Hops), activeRoleExit))
+			s.activeRand(spec.Protocol, class, flow, len(spec.Hops), activeRoleExit), fl.Probe)
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +285,7 @@ func (s *System) activeFlow(spec ActiveSpec, class, flow int, watermarked bool) 
 			}
 		}
 		stream, probe, err := s.padStream(src, spec.Raw,
-			s.activeRand(spec.Protocol, class, flow, 0, activeRoleLink), nil)
+			s.activeRand(spec.Protocol, class, flow, 0, activeRoleLink), nil, fl.Probe)
 		if err != nil {
 			return nil, err
 		}
@@ -395,6 +396,7 @@ func (s *System) RunActiveDetection(spec ActiveSpec, cfg ActiveDetectConfig) (*a
 				return nil, err
 			}
 			d := netem.NewDiffer(fl.Exit)
+			d.SetProbe(fl.Probe)
 			// Training windows start where run-time observation does:
 			// past the session scenario's warm-up span.
 			for fl.Start > 0 && d.Now() <= fl.Start {

@@ -9,6 +9,7 @@ import (
 	"linkpad/internal/cascade"
 	"linkpad/internal/gateway"
 	"linkpad/internal/netem"
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -212,13 +213,17 @@ func (s *System) hopTau(h CascadeHop) float64 {
 // flow, hop) role streams, so the route is a pure function of the flow
 // identity.
 func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (*cascade.Route, error) {
+	// One telemetry shard per route: every hop, link fault and tap
+	// imperfection on this flow's path counts into it, and whichever
+	// goroutine pulls the route's exit flushes it.
+	sh := obs.NewShard()
 	var rec *cascade.Recorder
 	var entryTap func(float64)
 	var err error
 	if withEntry {
 		rec = &cascade.Recorder{}
 		entryTap, err = s.entryTapWrap(rec.Record, class,
-			cascadeStreamID(flow, 0, cascadeRoleEntryTap))
+			cascadeStreamID(flow, 0, cascadeRoleEntryTap), sh)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +237,7 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 		return xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleHop)))
 	}, func(h int) *xrand.Rand {
 		return xrand.New(s.streamSeed(class, cascadeStreamID(flow, h, cascadeRoleOutage)))
-	}, entryTap)
+	}, entryTap, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -240,11 +245,16 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 	// observation chain, exactly as for the single padded link.
 	exitMaster := xrand.New(s.streamSeed(class,
 		cascadeStreamID(flow, len(spec.Hops), cascadeRoleExit)))
-	exit, err := s.observationChain(stream, exitMaster)
+	exit, err := s.observationChain(stream, exitMaster, sh)
 	if err != nil {
 		return nil, err
 	}
-	return cascade.NewRoute(class, exit, rec, probes)
+	route, err := cascade.NewRoute(class, exit, rec, probes)
+	if err != nil {
+		return nil, err
+	}
+	route.Probe = sh
+	return route, nil
 }
 
 // hopChain threads an arrival process through a sequence of re-padding
@@ -260,7 +270,7 @@ func (s *System) buildRoute(spec CascadeSpec, class, flow int, withEntry bool) (
 // from it); entryTap, when non-nil, observes the first stage's payload
 // arrivals. It returns the last stage's departure stream and one
 // overhead probe per hop.
-func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster func(h int) *xrand.Rand, outageRng func(h int) *xrand.Rand, entryTap func(float64)) (netem.TimeStream, []cascade.HopProbe, error) {
+func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster func(h int) *xrand.Rand, outageRng func(h int) *xrand.Rand, entryTap func(float64), sh *obs.Shard) (netem.TimeStream, []cascade.HopProbe, error) {
 	var stream netem.TimeStream
 	var probes []cascade.HopProbe
 	var err error
@@ -295,6 +305,7 @@ func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster f
 					Jitter:      s.cfg.Jitter,
 					RNG:         master.Split(),
 					ArrivalTap:  tap,
+					Probe:       sh,
 				})
 				if err != nil {
 					return nil, nil, err
@@ -326,6 +337,7 @@ func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster f
 					Payload:    src,
 					RNG:        master.Split(),
 					ArrivalTap: tap,
+					Probe:      sh,
 				})
 				if err != nil {
 					return nil, nil, err
@@ -349,10 +361,12 @@ func (s *System) hopChain(hops []CascadeHop, payload traffic.Source, hopMaster f
 				if err != nil {
 					return nil, nil, err
 				}
-				stream, err = netem.NewOutageStream(stream, sched, hop.Outage.Backoff, hop.Outage.SpareDelay)
+				os, err := netem.NewOutageStream(stream, sched, hop.Outage.Backoff, hop.Outage.SpareDelay)
 				if err != nil {
 					return nil, nil, err
 				}
+				os.SetProbe(sh)
+				stream = os
 			}
 			if h < len(hops)-1 {
 				src, err = cascade.NewStreamSource(stream, outRate)
@@ -452,7 +466,9 @@ func (s *System) RunCascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) 
 			if err != nil {
 				return nil, err
 			}
-			return netem.NewDiffer(route.Exit), nil
+			d := netem.NewDiffer(route.Exit)
+			d.SetProbe(route.Probe)
+			return d, nil
 		})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"linkpad/internal/bayes"
 	"linkpad/internal/gateway"
 	"linkpad/internal/netem"
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -396,6 +397,11 @@ func (s *System) PIATSource(class int, streamID uint64) (adversary.PIATSource, e
 // gateway (or mix), network path, tap imperfections — and returns the
 // differencing tap, whose stream clock the session layer reads.
 func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
+	// One telemetry shard per chain, owned by whichever goroutine pulls
+	// the chain; the Differ carries it so batched consumers can drain it
+	// at slab boundaries. Nil (collection disabled) threads through every
+	// element for free.
+	sh := obs.NewShard()
 	var stream netem.TimeStream
 	var master *xrand.Rand
 	if s.cfg.Mix != nil {
@@ -403,6 +409,7 @@ func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 		if err != nil {
 			return nil, err
 		}
+		mix.SetProbe(sh)
 		// Derive the downstream RNG from a distinct branch of the same
 		// stream seed.
 		master = xrand.New(s.streamSeed(class, streamID) ^ 0xa5a5a5a5a5a5a5a5)
@@ -412,13 +419,16 @@ func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 		if err != nil {
 			return nil, err
 		}
+		gw.SetProbe(sh)
 		stream, master = gw, m
 	}
-	stream, err := s.observationChain(stream, master)
+	stream, err := s.observationChain(stream, master, sh)
 	if err != nil {
 		return nil, err
 	}
-	return netem.NewDiffer(stream), nil
+	d := netem.NewDiffer(stream)
+	d.SetProbe(sh)
+	return d, nil
 }
 
 // observationChain layers the unprotected network path and the tap
@@ -428,8 +438,10 @@ func (s *System) tap(class int, streamID uint64) (*netem.Differ, error) {
 // clock quantization, then the capture impairment. All randomness is
 // drawn from master in that order; disabled stages draw nothing, so a
 // configuration without impairments reproduces the pre-fault-model
-// streams bit for bit.
-func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (netem.TimeStream, error) {
+// streams bit for bit. probe is the chain's telemetry shard (nil when
+// collection is disabled): the loss/duplication/reorder stages count
+// into it, and it never influences any draw.
+func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand, probe *obs.Shard) (netem.TimeStream, error) {
 	var err error
 	switch {
 	case len(s.cfg.Hops) > 0 && s.cfg.ExactNetwork:
@@ -462,16 +474,20 @@ func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (
 		}
 	}
 	if s.cfg.PathImpair.Enabled() {
-		stream, err = netem.NewImpairer(stream, s.cfg.PathImpair, master.Split())
+		imp, err := netem.NewImpairer(stream, s.cfg.PathImpair, master.Split())
 		if err != nil {
 			return nil, err
 		}
+		imp.SetProbe(probe)
+		stream = imp
 	}
 	if s.cfg.TapLossProb > 0 {
-		stream, err = netem.NewLossyTap(stream, s.cfg.TapLossProb, master.Split())
+		lt, err := netem.NewLossyTap(stream, s.cfg.TapLossProb, master.Split())
 		if err != nil {
 			return nil, err
 		}
+		lt.SetProbe(probe)
+		stream = lt
 	}
 	if s.cfg.TapResolution > 0 {
 		stream, err = netem.NewQuantizer(stream, s.cfg.TapResolution)
@@ -480,10 +496,12 @@ func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (
 		}
 	}
 	if s.cfg.TapImpair.Enabled() {
-		stream, err = netem.NewImpairer(stream, s.cfg.TapImpair, master.Split())
+		imp, err := netem.NewImpairer(stream, s.cfg.TapImpair, master.Split())
 		if err != nil {
 			return nil, err
 		}
+		imp.SetProbe(probe)
+		stream = imp
 	}
 	return stream, nil
 }
@@ -492,11 +510,11 @@ func (s *System) observationChain(stream netem.TimeStream, master *xrand.Rand) (
 // entry-tap impairment; the RNG is derived lazily from the given role
 // stream seed only when the impairment is enabled, so baseline
 // configurations construct nothing and stay bit-identical.
-func (s *System) entryTapWrap(record func(float64), class int, streamID uint64) (func(float64), error) {
+func (s *System) entryTapWrap(record func(float64), class int, streamID uint64, probe *obs.Shard) (func(float64), error) {
 	if record == nil || !s.cfg.EntryTapImpair.Enabled() {
 		return record, nil
 	}
-	return s.cfg.EntryTapImpair.WrapRecord(record, xrand.New(s.streamSeed(class, streamID)))
+	return s.cfg.EntryTapImpair.WrapRecordObs(record, xrand.New(s.streamSeed(class, streamID)), probe)
 }
 
 // AttackConfig describes one adversary experiment against the system.

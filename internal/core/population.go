@@ -9,6 +9,7 @@ import (
 	"linkpad/internal/cascade"
 	"linkpad/internal/gateway"
 	"linkpad/internal/netem"
+	"linkpad/internal/obs"
 	"linkpad/internal/population"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
@@ -335,7 +336,7 @@ func (l *rawLink) Next() float64 {
 // padded link itself is down, so even timer-driven dummies stop). All
 // randomness comes from master, so a link is deterministic from its
 // stream seed; the presence schedule rides its own role stream.
-func (s *System) flowLink(spec PopulationSpec, class int, raw bool, presence *traffic.OnOffSchedule, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, error) {
+func (s *System) flowLink(spec PopulationSpec, class int, raw bool, presence *traffic.OnOffSchedule, master *xrand.Rand, tap func(t float64), sh *obs.Shard) (netem.TimeStream, error) {
 	payload, err := s.payloadSource(class, master.Split())
 	if err != nil {
 		return nil, err
@@ -357,7 +358,7 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, presence *tr
 			return nil, err
 		}
 	}
-	stream, _, err := s.padStream(src, raw, master, tap)
+	stream, _, err := s.padStream(src, raw, master, tap, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +382,7 @@ func (s *System) flowLink(spec PopulationSpec, class int, raw bool, presence *tr
 // links). The population and active protocols share this construction;
 // master is consumed in a fixed order, so the chain is deterministic
 // from its stream seed.
-func (s *System) padStream(src traffic.Source, raw bool, master *xrand.Rand, tap func(t float64)) (netem.TimeStream, cascade.HopProbe, error) {
+func (s *System) padStream(src traffic.Source, raw bool, master *xrand.Rand, tap func(t float64), sh *obs.Shard) (netem.TimeStream, cascade.HopProbe, error) {
 	var stream netem.TimeStream
 	var probe cascade.HopProbe
 	var err error
@@ -396,6 +397,7 @@ func (s *System) padStream(src traffic.Source, raw bool, master *xrand.Rand, tap
 			Jitter:      s.cfg.Jitter,
 			RNG:         master.Split(),
 			ArrivalTap:  tap,
+			Probe:       sh,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -415,6 +417,7 @@ func (s *System) padStream(src traffic.Source, raw bool, master *xrand.Rand, tap
 			Payload:    src,
 			RNG:        master.Split(),
 			ArrivalTap: tap,
+			Probe:      sh,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -426,7 +429,7 @@ func (s *System) padStream(src traffic.Source, raw bool, master *xrand.Rand, tap
 		}
 		stream = gw
 	}
-	stream, err = s.observationChain(stream, master)
+	stream, err = s.observationChain(stream, master, sh)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -488,11 +491,14 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 			if err != nil {
 				return nil, err
 			}
-			link, err := s.flowLink(spec, class, cfg.Raw, presence, master, nil)
+			sh := obs.NewShard()
+			link, err := s.flowLink(spec, class, cfg.Raw, presence, master, nil, sh)
 			if err != nil {
 				return nil, err
 			}
-			return netem.NewDiffer(link), nil
+			d := netem.NewDiffer(link)
+			d.SetProbe(sh)
+			return d, nil
 		})
 	if err != nil {
 		return nil, err
@@ -515,11 +521,12 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 				flow.Ingress = append(flow.Ingress, t)
 			}
 		}
-		tap, err = s.entryTapWrap(tap, class, populationStreamID(u, popRoleTap))
+		sh := obs.NewShard()
+		tap, err = s.entryTapWrap(tap, class, populationStreamID(u, popRoleTap), sh)
 		if err != nil {
 			return nil, err
 		}
-		link, err := s.flowLink(spec, class, cfg.Raw, presence, master, tap)
+		link, err := s.flowLink(spec, class, cfg.Raw, presence, master, tap, sh)
 		if err != nil {
 			return nil, err
 		}
@@ -530,6 +537,9 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 			}
 			flow.Egress = append(flow.Egress, t)
 		}
+		// The flow is finished and this worker owns the shard: publish the
+		// chain's counters.
+		sh.Flush()
 		return flow, nil
 	}
 	return population.CorrelateFlows(sim, spec.Users, population.FlowCorrConfig{

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"linkpad/internal/obs"
 )
 
 // Cell experiments and checkpoint/resume (checkpoint.go).
@@ -200,6 +202,9 @@ func runCells(id string, ce *cellExperiment, o Options, path string, killAfter i
 			todo = append(todo, i)
 		}
 	}
+	// Announce only the cells left to run: a resumed sweep's progress
+	// gauge starts where the crashed run stopped.
+	obs.AddCells(len(todo))
 	// The nested budget splits over the full sweep, not the remainder, so
 	// a resumed run schedules exactly like a fresh one (results are
 	// identical either way; this only keeps the performance predictable).
@@ -223,6 +228,7 @@ func runCells(id string, ce *cellExperiment, o Options, path string, killAfter i
 		cp.Done[i] = true
 		cp.Rows[i] = row
 		completed++
+		obs.CellDone()
 		if path != "" {
 			if err := cp.save(path); err != nil {
 				return err

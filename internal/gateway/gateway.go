@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -244,6 +245,11 @@ type Config struct {
 	// watches both sides of the padded link. Purely an observer: it must
 	// not mutate the gateway, and leaving it nil changes nothing.
 	ArrivalTap func(t float64)
+	// Probe, when non-nil, is the chain's telemetry shard; the gateway
+	// counts emitted payload/dummy packets, blocking stalls, queue drops
+	// and payload arrivals into it. Nil (the default) disables counting
+	// at the cost of one predicted branch per event.
+	Probe *obs.Shard
 }
 
 // Stats counts gateway activity, including the QoS side of the paper's
@@ -371,6 +377,7 @@ func (g *Gateway) fire(interval float64) (departure float64, dummy bool) {
 		}
 		if g.cfg.QueueCap > 0 && g.QueueLen() >= g.cfg.QueueCap {
 			g.stats.Dropped++
+			g.cfg.Probe.Inc(obs.GatewayDrop)
 		} else {
 			g.queue = append(g.queue, g.nextArrival)
 			if q := g.QueueLen(); q > g.stats.MaxQueue {
@@ -378,6 +385,12 @@ func (g *Gateway) fire(interval float64) (departure float64, dummy bool) {
 			}
 		}
 		g.nextArrival += g.cfg.Payload.Next()
+	}
+	if arrivals > 0 {
+		g.cfg.Probe.Add(obs.TrafficPayload, uint64(arrivals))
+		// At least one NIC interrupt blocked this timer interval: the
+		// compound jitter term engaged for this fire.
+		g.cfg.Probe.Inc(obs.GatewayStall)
 	}
 
 	fire := g.sched + g.cfg.Jitter.Delay(arrivals, g.cfg.RNG)
@@ -401,9 +414,11 @@ func (g *Gateway) fire(interval float64) (departure float64, dummy bool) {
 			g.stats.DelayMax = delay
 		}
 		g.stats.PayloadSent++
+		g.cfg.Probe.Inc(obs.GatewayPayload)
 		return fire, false
 	}
 	g.stats.Dummies++
+	g.cfg.Probe.Inc(obs.GatewayDummy)
 	return fire, true
 }
 
@@ -425,6 +440,10 @@ func (g *Gateway) Now() float64 { return g.lastDepart }
 
 // Stats returns a copy of the activity counters.
 func (g *Gateway) Stats() Stats { return g.stats }
+
+// SetProbe attaches a telemetry shard after construction (equivalent to
+// setting Config.Probe); call before the first fire.
+func (g *Gateway) SetProbe(s *obs.Shard) { g.cfg.Probe = s }
 
 // QueueLen returns the current payload queue length.
 func (g *Gateway) QueueLen() int { return len(g.queue) - g.qhead }

@@ -3,6 +3,7 @@ package gateway
 import (
 	"errors"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -25,6 +26,7 @@ type Mix struct {
 	jitter  JitterModel
 	rng     *xrand.Rand
 	tap     func(t float64)
+	probe   *obs.Shard
 
 	nextArrival float64
 	pending     int       // packets of the current burst still to emit
@@ -56,6 +58,10 @@ type MixConfig struct {
 	// every payload packet reaching the mix — the ingress side of a
 	// global passive adversary, mirroring gateway.Config.ArrivalTap.
 	ArrivalTap func(t float64)
+	// Probe, when non-nil, is the chain's telemetry shard; the mix
+	// counts payload arrivals, flushed bursts and emitted packets into
+	// it. Nil disables counting.
+	Probe *obs.Shard
 }
 
 // NewMix creates a mix.
@@ -82,6 +88,7 @@ func NewMix(cfg MixConfig) (*Mix, error) {
 		jitter:  cfg.Jitter,
 		rng:     cfg.RNG,
 		tap:     cfg.ArrivalTap,
+		probe:   cfg.Probe,
 	}, nil
 }
 
@@ -106,6 +113,8 @@ func (m *Mix) Next() float64 {
 		}
 		m.pending = m.k
 		m.bursts++
+		m.probe.Add(obs.TrafficPayload, uint64(m.k))
+		m.probe.Inc(obs.MixFlush)
 	}
 	idx := m.k - m.pending
 	m.pending--
@@ -115,6 +124,7 @@ func (m *Mix) Next() float64 {
 	}
 	m.lastOut = out
 	m.packets++
+	m.probe.Inc(obs.MixPacket)
 	delay := out - m.batch[idx]
 	m.delaySum += delay
 	if delay > m.delayMax {
@@ -149,3 +159,7 @@ func (m *Mix) Bursts() uint64 { return m.bursts }
 
 // Packets returns the number of packets emitted so far.
 func (m *Mix) Packets() uint64 { return m.packets }
+
+// SetProbe attaches a telemetry shard after construction (equivalent to
+// setting MixConfig.Probe); call before the first flush.
+func (m *Mix) SetProbe(s *obs.Shard) { m.probe = s }

@@ -3,6 +3,7 @@ package netem
 import (
 	"math"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/slab"
 	"linkpad/internal/traffic"
 )
@@ -241,6 +242,8 @@ func (l *LossyTap) NextBatch(dst []float64) {
 			if !l.rng.Bernoulli(l.p) {
 				dst[out] = t
 				out++
+			} else {
+				l.probe.Inc(obs.NetemDrop)
 			}
 		}
 	}

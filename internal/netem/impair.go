@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/xrand"
 )
 
@@ -180,7 +181,12 @@ type Impairer struct {
 	q        []float64 // pending emissions, FIFO
 	qi       int
 	buf      []float64 // reusable upstream chunk for the batched path
+	probe    *obs.Shard
 }
+
+// SetProbe attaches a telemetry shard; losses, duplicates and held-back
+// reorderings count into it.
+func (p *Impairer) SetProbe(s *obs.Shard) { p.probe = s }
 
 // NewImpairer wraps upstream with the impairment profile. A nil or
 // all-zero profile is rejected — the caller should simply not wrap.
@@ -229,13 +235,19 @@ func (p *Impairer) Next() float64 {
 // Shared verbatim by the pull and batch paths, so they cannot drift.
 func (p *Impairer) process(t float64) {
 	if p.ge != nil && p.ge.lost(p.rng) {
+		p.probe.Inc(obs.NetemDrop)
 		return
 	}
 	if p.im.LossProb > 0 && p.rng.Bernoulli(p.im.LossProb) {
+		p.probe.Inc(obs.NetemDrop)
 		return
 	}
 	dup := p.im.DupProb > 0 && p.rng.Bernoulli(p.im.DupProb)
+	if dup {
+		p.probe.Inc(obs.NetemDup)
+	}
 	if p.im.ReorderProb > 0 && p.rng.Bernoulli(p.im.ReorderProb) && len(p.held) < cap(p.held) {
+		p.probe.Inc(obs.NetemReorder)
 		// Hold this packet back; it re-emerges at the timestamp of the
 		// ReorderDepth-th surviving packet after it. A duplicate of a
 		// held packet is held with it (the pair travels together).
@@ -312,6 +324,13 @@ func (p *Impairer) NextBatch(dst []float64) {
 // stopped first); at most ReorderDepth observations are in flight.
 // A nil or all-zero impairment returns record unchanged.
 func (im *Impairment) WrapRecord(record func(float64), rng *xrand.Rand) (func(float64), error) {
+	return im.WrapRecordObs(record, rng, nil)
+}
+
+// WrapRecordObs is WrapRecord with a telemetry shard: missed, doubled
+// and mis-sequenced observations count as NetemDrop/NetemDup/
+// NetemReorder. A nil probe counts nothing (identical to WrapRecord).
+func (im *Impairment) WrapRecordObs(record func(float64), rng *xrand.Rand, probe *obs.Shard) (func(float64), error) {
 	if err := im.Validate(); err != nil {
 		return nil, err
 	}
@@ -339,13 +358,19 @@ func (im *Impairment) WrapRecord(record func(float64), rng *xrand.Rand) (func(fl
 	cfg := *im
 	return func(t float64) {
 		if ge != nil && ge.lost(rng) {
+			probe.Inc(obs.NetemDrop)
 			return
 		}
 		if cfg.LossProb > 0 && rng.Bernoulli(cfg.LossProb) {
+			probe.Inc(obs.NetemDrop)
 			return
 		}
 		dup := cfg.DupProb > 0 && rng.Bernoulli(cfg.DupProb)
+		if dup {
+			probe.Inc(obs.NetemDup)
+		}
 		if cfg.ReorderProb > 0 && rng.Bernoulli(cfg.ReorderProb) && len(held) < cap(held) {
+			probe.Inc(obs.NetemReorder)
 			n := 1
 			if dup {
 				n = 2

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"math"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
 )
@@ -306,10 +307,21 @@ type Differ struct {
 	prev    float64
 	count   uint64
 	started bool
+	probe   *obs.Shard
 }
 
 // NewDiffer wraps src.
 func NewDiffer(src TimeStream) *Differ { return &Differ{src: src} }
+
+// SetProbe attaches the observation chain's telemetry shard to the
+// Differ, making it the chain's flush point: the Differ is the single
+// element every chain ends in, so batched consumers can drain the whole
+// chain's counters through it (FlushObs) at slab boundaries.
+func (d *Differ) SetProbe(s *obs.Shard) { d.probe = s }
+
+// FlushObs drains the chain's telemetry shard into the global
+// collector; a no-op when no probe is attached. Implements obs.Flusher.
+func (d *Differ) FlushObs() { d.probe.Flush() }
 
 // Next returns the next inter-arrival time.
 func (d *Differ) Next() float64 {
@@ -365,7 +377,12 @@ type LossyTap struct {
 	p        float64
 	rng      *xrand.Rand
 	buf      []float64 // reusable upstream chunk for the batched path
+	probe    *obs.Shard
 }
+
+// SetProbe attaches a telemetry shard; missed captures count as
+// NetemDrop.
+func (l *LossyTap) SetProbe(s *obs.Shard) { l.probe = s }
 
 // NewLossyTap creates a lossy tap with loss probability 0 <= p < 1.
 func NewLossyTap(upstream TimeStream, p float64, rng *xrand.Rand) (*LossyTap, error) {
@@ -388,6 +405,7 @@ func (l *LossyTap) Next() float64 {
 		if l.p == 0 || !l.rng.Bernoulli(l.p) {
 			return t
 		}
+		l.probe.Inc(obs.NetemDrop)
 	}
 }
 

@@ -3,6 +3,7 @@ package netem
 import (
 	"errors"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/traffic"
 )
 
@@ -37,7 +38,12 @@ type OutageStream struct {
 	started    bool
 	affected   int
 	diverted   int
+	probe      *obs.Shard
 }
+
+// SetProbe attaches a telemetry shard; dark-interval hits and the extra
+// delay they cost count into it.
+func (o *OutageStream) SetProbe(s *obs.Shard) { o.probe = s }
 
 // NewOutageStream wraps upstream with the schedule. backoff and
 // spareDelay must not both be positive (a gateway either retries the
@@ -78,6 +84,10 @@ func (o *OutageStream) Next() float64 {
 		default:
 			out = o.sched.NextUpAfter(t)
 		}
+		o.probe.Inc(obs.NetemOutageHit)
+		// Integer nanoseconds: deterministic (a pure function of the
+		// departure times) and exactly summable across chains.
+		o.probe.Add(obs.NetemOutageNanos, uint64((out-t)*1e9))
 	}
 	if o.started && out < o.lastOut {
 		out = o.lastOut

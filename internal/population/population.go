@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 
+	"linkpad/internal/obs"
 	"linkpad/internal/par"
 	"linkpad/internal/traffic"
 	"linkpad/internal/xrand"
@@ -204,6 +205,7 @@ type Engine struct {
 	qi      int
 	sorter  eventSorter
 	rounds  int
+	probe   *obs.Shard
 }
 
 // targetSlabEvents sizes generation slabs: each parallel fan-out should
@@ -220,7 +222,7 @@ func NewEngine(users []User, recipients int) (*Engine, error) {
 	if recipients < 2 {
 		return nil, errors.New("population: need at least two recipients")
 	}
-	e := &Engine{users: users, nrcpt: recipients, states: make([]userState, len(users))}
+	e := &Engine{users: users, nrcpt: recipients, states: make([]userState, len(users)), probe: obs.NewShard()}
 	var totalRate float64
 	for u := range users {
 		usr := &users[u]
@@ -316,6 +318,11 @@ func (e *Engine) refill() error {
 	}
 	e.queue = e.queue[:0]
 	for u := range e.states {
+		// Counted in the sequential merge (never the parallel fan-out):
+		// a user is active in this generation slab if it produced events.
+		if len(e.states[u].buf) > 0 {
+			e.probe.Inc(obs.PopulationActiveUser)
+		}
 		e.queue = append(e.queue, e.states[u].buf...)
 	}
 	e.sorter.ev = e.queue
@@ -345,11 +352,20 @@ func (e *Engine) NextRound(batch int, r *Round) error {
 		}
 		ev := &e.queue[e.qi]
 		e.qi++
+		if ev.dummy {
+			e.probe.Inc(obs.TrafficCover)
+		} else {
+			e.probe.Inc(obs.PopulationMessage)
+		}
 		r.Users = append(r.Users, ev.user)
 		r.Rcpts = append(r.Rcpts, ev.rcpt)
 		r.Dummy = append(r.Dummy, ev.dummy)
 		r.Times = append(r.Times, ev.t)
 	}
 	e.rounds++
+	e.probe.Inc(obs.PopulationRound)
+	// Round boundaries are the engine's natural flush points: coarse
+	// enough to stay off the per-event path, fine enough for live reads.
+	e.probe.Flush()
 	return nil
 }
