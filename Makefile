@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-compare bench-gate \
-	profile staticcheck docs golden golden-check resume-check report ci clean
+	profile staticcheck docs golden golden-check resume-check scale-smoke \
+	report ci clean
 
 all: vet build test
 
@@ -104,8 +105,31 @@ resume-check:
 		echo "resumed table differs from the uninterrupted golden"; exit 1; }; \
 	rm -rf $$tmp; echo "kill-and-resume run byte-identical to golden"
 
+# The scale gate: drive the sharded population engine at 1e5 users (a
+# tenth of the million-user design point — big enough to exercise lazy
+# instantiation, sparse estimators and the streaming shard merge; small
+# enough for every CI run) at two worker widths and byte-diff the
+# tables. -max-rss-mb pins the engine's memory model (peak resident set
+# measured ~35 MiB; the ceiling leaves slack for GC scheduling, not for
+# an O(N)-user-states regression) and -timeout turns a wedged run into
+# a clean failure. `make scale` runs the full million-user point.
+scale-smoke:
+	@tmp=$$(mktemp -d) || exit 1; \
+	$(GO) build -o $$tmp/linkpadsim ./cmd/linkpadsim || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/linkpadsim -exp scale-disclosure -scale 0.1 -seed 3 -workers 1 \
+		-timeout 10m -max-rss-mb 512 -o $$tmp/w1 || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/linkpadsim -exp scale-disclosure -scale 0.1 -seed 3 -workers 4 \
+		-timeout 10m -max-rss-mb 512 -o $$tmp/w4 || { rm -rf $$tmp; exit 1; }; \
+	diff $$tmp/w1/scale-disclosure.txt $$tmp/w4/scale-disclosure.txt || { rm -rf $$tmp; \
+		echo "scale-disclosure tables differ across -workers"; exit 1; }; \
+	rm -rf $$tmp; echo "scale-smoke: 1e5-user tables byte-identical at -workers 1 and 4"
+
+# The full million-user design point, with the measured peak RSS printed.
+scale:
+	$(GO) run ./cmd/linkpadsim -exp scale-disclosure -scale 1 -seed 3 -max-rss-mb 2048
+
 # Everything the CI workflow runs, reproducible locally in one command.
-ci: vet build test race staticcheck docs golden-check resume-check
+ci: vet build test race staticcheck docs golden-check resume-check scale-smoke
 
 clean:
 	rm -f linkpad.test cpu.prof mem.prof

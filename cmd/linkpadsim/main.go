@@ -11,6 +11,7 @@
 //	linkpadsim -bench-compare BENCH.json
 //	linkpadsim -bench-gate BENCH.json [-bench-gate-pct 25]
 //	linkpadsim -exp ext-disclosure -checkpoint cp.json [-checkpoint-kill N]
+//	linkpadsim -exp scale-disclosure -scale 1 -timeout 10m -max-rss-mb 2048
 //	linkpadsim -exp fig8b -cpuprofile cpu.out -memprofile mem.out
 //	linkpadsim -exp fig8b -metrics-addr localhost:6060
 //
@@ -74,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		checkpoint   = fs.String("checkpoint", "", "persist per-cell progress of a checkpointable experiment to this file and resume from it if present")
 		cpKill       = fs.Int("checkpoint-kill", 0, "abort with a simulated crash after this many cells finish (requires -checkpoint; exit code 3)")
 		timeout      = fs.Duration("timeout", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
+		maxRSSMB     = fs.Int("max-rss-mb", 0, "fail the run if peak resident memory (VmHWM) exceeds this many MiB (0 = no ceiling; skipped where /proc is unavailable)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
@@ -163,6 +165,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *report != "" && *benchJSON != "" {
 		return fmt.Errorf("-report and -bench-json are mutually exclusive (a bench record already carries the report's throughput fields)")
 	}
+	if *maxRSSMB < 0 {
+		return fmt.Errorf("-max-rss-mb must be non-negative, got %d", *maxRSSMB)
+	}
 
 	// Telemetry is off unless a consumer asked for it; the counters are
 	// deterministically invisible either way (golden tables byte-identical
@@ -184,7 +189,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer prog.stop()
 
 	if *benchJSON != "" {
-		return runBenchJSON(ids, opts, *benchJSON)
+		if err := runBenchJSON(ids, opts, *benchJSON); err != nil {
+			return err
+		}
+		return checkPeakRSS(stderr, *maxRSSMB)
 	}
 
 	rep := newRunReport(opts)
@@ -242,5 +250,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "run report written to %s\n", *report)
 	}
-	return nil
+	return checkPeakRSS(stderr, *maxRSSMB)
 }

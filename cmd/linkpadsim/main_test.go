@@ -35,6 +35,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"checkpoint all", []string{"-exp", "all", "-checkpoint", "cp.json"}, "single experiment"},
 		{"non-checkpointable", []string{"-exp", "fig4b", "-checkpoint", "cp.json"}, "does not support checkpointing"},
 		{"report and bench-json", []string{"-exp", "fig4b", "-report", "r.json", "-bench-json", "b.json"}, "mutually exclusive"},
+		{"negative max-rss-mb", []string{"-exp", "fig4b", "-max-rss-mb", "-1"}, "must be non-negative"},
 		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -47,6 +48,64 @@ func TestRunFlagValidation(t *testing.T) {
 				t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// The output-mode flag matrix, positive half: combinations the CLI must
+// accept. -report composes with -checkpoint (a resumable run still wants
+// its flight-recorder totals; only -bench-json claims the same fields),
+// and -max-rss-mb composes with everything as a pure post-run assertion.
+func TestRunFlagMatrixPositive(t *testing.T) {
+	defer func() {
+		obs.SetEnabled(false)
+		obs.Reset()
+	}()
+	obs.Reset()
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	cp := filepath.Join(dir, "cp.json")
+	// scale-disclosure at the floor population: the cheapest
+	// checkpointable experiment, so the matrix test stays a smoke test.
+	err, _ := tryRun(t, "-exp", "scale-disclosure", "-scale", "0.001", "-seed", "3",
+		"-checkpoint", cp, "-report", report, "-max-rss-mb", "4096")
+	if err != nil {
+		t.Fatalf("-report with -checkpoint rejected: %v", err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "scale-disclosure" {
+		t.Fatalf("report experiments = %+v", rep.Experiments)
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Errorf("checkpoint file not persisted alongside -report: %v", err)
+	}
+}
+
+// -max-rss-mb is a post-run ceiling: a generous ceiling passes and
+// reports the measured peak; an absurdly low one fails the run. Skipped
+// where the platform does not expose VmHWM.
+func TestRunMaxRSSCeiling(t *testing.T) {
+	if _, ok := peakRSSMB(); !ok {
+		t.Skip("no VmHWM on this platform")
+	}
+	err, stderr := tryRun(t, "-exp", "scale-disclosure", "-scale", "0.001", "-seed", "3",
+		"-max-rss-mb", "8192")
+	if err != nil {
+		t.Fatalf("generous RSS ceiling failed: %v", err)
+	}
+	if !strings.Contains(stderr, "peak RSS") {
+		t.Errorf("no peak-RSS line on stderr:\n%s", stderr)
+	}
+	err, _ = tryRun(t, "-exp", "scale-disclosure", "-scale", "0.001", "-seed", "3",
+		"-max-rss-mb", "1")
+	if err == nil || !strings.Contains(err.Error(), "exceeds -max-rss-mb") {
+		t.Errorf("1 MiB ceiling not enforced: err=%v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package linkpad_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,16 +45,23 @@ func ExampleNewSystem() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.RunAttack(linkpad.AttackConfig{
-		Feature:      linkpad.FeatureEntropy,
-		WindowSize:   1000,
-		TrainWindows: 100,
-		EvalWindows:  100,
+	sc, err := sys.Build(linkpad.AttackSetSpec{
+		Attack: linkpad.AttackConfig{
+			WindowSize:   1000,
+			TrainWindows: 100,
+			EvalWindows:  100,
+		},
+		Features: []linkpad.Feature{linkpad.FeatureEntropy},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("detection %.2f at r=%.2f\n", res.DetectionRate, res.EmpiricalR)
+	res, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detection %.2f at r=%.2f\n",
+		res.AttackSet[0].DetectionRate, res.AttackSet[0].EmpiricalR)
 	// Output: detection 1.00 at r=1.89
 }
 
@@ -76,12 +84,12 @@ func ExampleSystem_DesignVIT() {
 // in consecutive windows with an anytime (SPRT-style) stop. The CIT
 // gateway is identified at 99% confidence after about one 1000-PIAT
 // window — roughly ten seconds of stream.
-func ExampleSystem_RunAttackSession() {
+func ExampleSystem_Build_session() {
 	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.RunAttackSession(linkpad.SessionAttackConfig{
+	sc, err := sys.Build(linkpad.SessionAttackSpec{Session: linkpad.SessionAttackConfig{
 		Feature:       linkpad.FeatureEntropy,
 		WindowSize:    1000,
 		TrainSessions: 4,
@@ -89,10 +97,15 @@ func ExampleSystem_RunAttackSession() {
 		EvalSessions:  50,
 		MaxWindows:    8,
 		Confidence:    0.99,
-	})
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.Session
 	fmt.Printf("detection %.2f, %.1f windows to decision\n",
 		res.DetectionRate, res.MeanWindowsToDecision)
 	// Output: detection 1.00, 1.0 windows to decision
@@ -100,22 +113,31 @@ func ExampleSystem_RunAttackSession() {
 
 // The population protocol: many users share the batching mix, and a
 // global passive adversary runs round-based statistical disclosure
-// against one target's contact set.
-func ExampleSystem_RunDisclosure() {
+// against one target's contact set. Every protocol runs through the
+// same two calls — Build a Spec, Run the Scenario.
+func ExampleSystem_Build() {
 	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.RunDisclosure(linkpad.PopulationSpec{
-		Users:      16,
-		Recipients: 32,
-	}, linkpad.DisclosureConfig{
-		Targets:   []int{0},
-		MaxRounds: 2000,
+	sc, err := sys.Build(linkpad.DisclosureSpec{
+		Population: linkpad.PopulationSpec{
+			Users:      16,
+			Recipients: 32,
+		},
+		Disclosure: linkpad.DisclosureConfig{
+			Targets:   []int{0},
+			MaxRounds: 2000,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.Disclosure
 	fmt.Printf("disclosed %.0f%% of targets after %.0f rounds\n",
 		100*res.DisclosedFrac, res.MeanRounds)
 	// Output: disclosed 100% of targets after 475 rounds
@@ -124,18 +146,26 @@ func ExampleSystem_RunDisclosure() {
 // The cascade protocol: flows cross a route of re-padding hops and the
 // adversary taps both ends. Two CIT hops break the end-to-end match —
 // the inner hop only ever sees the entry hop's constant rate.
-func ExampleSystem_RunCascadeCorrelation() {
+func ExampleSystem_Build_cascade() {
 	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.RunCascadeCorrelation(linkpad.CascadeSpec{
-		Hops:  []linkpad.CascadeHop{{}, {}},
-		Flows: 8,
-	}, linkpad.CascadeCorrConfig{Duration: 30})
+	sc, err := sys.Build(linkpad.CascadeCorrelationSpec{
+		Cascade: linkpad.CascadeSpec{
+			Hops:  []linkpad.CascadeHop{{}, {}},
+			Flows: 8,
+		},
+		Corr: linkpad.CascadeCorrConfig{Duration: 30},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.Cascade
 	fmt.Printf("matched %.0f%% of flows, anonymity %.2f\n",
 		100*res.Accuracy, res.DegreeOfAnonymity)
 	// Output: matched 0% of flows, anonymity 0.56
@@ -145,19 +175,27 @@ func ExampleSystem_RunCascadeCorrelation() {
 // payload before the CIT gateway, detected again at the exit tap with a
 // matched filter. The timer flattens the wire rate, but the chaff still
 // leaks through its blocking jitter.
-func ExampleSystem_RunActiveDetection() {
+func ExampleSystem_Build_active() {
 	sys, err := linkpad.NewSystem(linkpad.DefaultLabConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.RunActiveDetection(linkpad.ActiveSpec{
-		Flows:     8,
-		Mode:      linkpad.WatermarkChaff,
-		Amplitude: 40,
-	}, linkpad.ActiveDetectConfig{Duration: 45})
+	sc, err := sys.Build(linkpad.ActiveDetectionSpec{
+		Active: linkpad.ActiveSpec{
+			Flows:     8,
+			Mode:      linkpad.WatermarkChaff,
+			Amplitude: 40,
+		},
+		Detect: linkpad.ActiveDetectConfig{Duration: 45},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.Active
 	fmt.Printf("detected %.0f%% of keys at %.1f pps injected\n",
 		100*res.DetectionRate, res.InjectedPPS)
 	// Output: detected 100% of keys at 19.7 pps injected

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,19 @@ func main() {
 		log.Fatal(err)
 	}
 	features := []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy}
+
+	// Both watermark sweeps run through the unified scenario API.
+	run := func(spec linkpad.ActiveSpec, cfg linkpad.ActiveDetectConfig) *linkpad.ActiveResult {
+		sc, err := sys.Build(linkpad.ActiveDetectionSpec{Active: spec, Detect: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run(context.Background(), linkpad.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Active
+	}
 
 	// Part 1: the chaff watermark vs the countermeasure tiers. Amplitude
 	// is the in-slot chaff rate; the attacker's long-run cost is about
@@ -45,13 +59,10 @@ func main() {
 		spec.Flows = 16
 		spec.Mode = linkpad.WatermarkChaff
 		spec.Amplitude = 20
-		res, err := sys.RunActiveDetection(spec, linkpad.ActiveDetectConfig{
+		res := run(spec, linkpad.ActiveDetectConfig{
 			Duration: 45,
 			Features: features,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("  %-13s: %3.0f%% of keys detected (mean z %4.1f), %3.0f%% of flows matched, anonymity %.2f, attacker pays %4.1f pps, defense %3.0f pps\n",
 			tier.name, 100*res.DetectionRate, res.MeanZ, 100*res.MatchAccuracy,
 			res.DegreeOfAnonymity, res.InjectedPPS, res.RoutePPS)
@@ -68,15 +79,12 @@ func main() {
 		{"unpadded", true},
 		{"CIT timer", false},
 	} {
-		res, err := sys.RunActiveDetection(linkpad.ActiveSpec{
+		res := run(linkpad.ActiveSpec{
 			Flows:     16,
 			Mode:      linkpad.WatermarkDelay,
 			Amplitude: 0.1,
 			Raw:       tier.raw,
 		}, linkpad.ActiveDetectConfig{Duration: 45, Features: features})
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("  %-9s: %3.0f%% of keys detected, mean added delay %2.0f ms\n",
 			tier.name, 100*res.DetectionRate, 1e3*res.MeanAddedDelay)
 	}

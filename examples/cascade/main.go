@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,18 +26,28 @@ func main() {
 	}
 	features := []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy}
 
+	// Both sweeps run through the unified scenario API.
+	run := func(spec linkpad.CascadeSpec, cfg linkpad.CascadeCorrConfig) *linkpad.CascadeResult {
+		sc, err := sys.Build(linkpad.CascadeCorrelationSpec{Cascade: spec, Corr: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run(context.Background(), linkpad.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Cascade
+	}
+
 	// Part 1: route length. Every hop re-pads at 1/tau = 100 pps, so each
 	// extra hop costs a full padded link and buys another layer of
 	// re-timing between the adversary's two taps.
 	fmt.Println("end-to-end correlation vs hop count: 16 flows, 60 s per flow")
 	for _, hops := range []int{0, 1, 2, 3} {
-		res, err := sys.RunCascadeCorrelation(linkpad.CascadeSpec{
+		res := run(linkpad.CascadeSpec{
 			Hops:  make([]linkpad.CascadeHop, hops),
 			Flows: 16,
 		}, linkpad.CascadeCorrConfig{Duration: 60, Features: features})
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("  %d hops: %3.0f%% of flows matched, class identified for %3.0f%%, anonymity %.2f, %3.0f pps/flow\n",
 			hops, 100*res.Accuracy, 100*res.ClassAccuracy, res.DegreeOfAnonymity, res.RoutePPS)
 	}
@@ -53,13 +64,10 @@ func main() {
 		{"CIT then MIX8", []linkpad.CascadeHop{{}, {Policy: linkpad.CascadeMix}}},
 		{"MIX8 then CIT", []linkpad.CascadeHop{{Policy: linkpad.CascadeMix}, {}}},
 	} {
-		res, err := sys.RunCascadeCorrelation(linkpad.CascadeSpec{
+		res := run(linkpad.CascadeSpec{
 			Hops:  route.hops,
 			Flows: 16,
 		}, linkpad.CascadeCorrConfig{Duration: 60, Features: features})
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("  %s: class identified for %3.0f%% (%3.0f pps/flow)\n",
 			route.name, 100*res.ClassAccuracy, res.RoutePPS)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,15 +27,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.RunAttack(linkpad.AttackConfig{
-		Feature:      linkpad.FeatureEntropy,
-		WindowSize:   1000,
-		TrainWindows: 150,
-		EvalWindows:  150,
+	sc, err := sys.Build(linkpad.AttackSetSpec{
+		Attack: linkpad.AttackConfig{
+			WindowSize:   1000,
+			TrainWindows: 150,
+			EvalWindows:  150,
+		},
+		Features: []linkpad.Feature{linkpad.FeatureEntropy},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.AttackSet[0]
 	fmt.Println("Four payload rates, CIT padding, entropy feature, n = 1000")
 	fmt.Println()
 	fmt.Println(res.Confusion.String())

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,17 +64,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := s.RunAttackSession(linkpad.SessionAttackConfig{
+		sc, err := s.Build(linkpad.SessionAttackSpec{Session: linkpad.SessionAttackConfig{
 			Feature:      linkpad.FeatureEntropy,
 			WindowSize:   n,
 			TrainWindows: 120,
 			EvalSessions: 40,
 			MaxWindows:   10,
 			Confidence:   0.99,
-		})
+		}})
 		if err != nil {
 			log.Fatal(err)
 		}
+		out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := out.Session
 		fmt.Printf("%-22s %10.3f %9.0f%% %12.2f %14.2f\n",
 			tc.name, res.DetectionRate, res.DecidedRate*100,
 			res.MeanWindowsToDecision, res.MeanTimeToDecision)

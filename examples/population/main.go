@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Every attack below goes through the unified scenario API: build
+	// the spec once, run it, read the protocol's slot of the result.
+	run := func(spec linkpad.Spec) *linkpad.ScenarioResult {
+		sc, err := sys.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run(context.Background(), linkpad.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
 	// Part 1: statistical disclosure against the shared batching mix.
 	// Every round the mix flushes 8 messages; the adversary contrasts
 	// rounds with and without each target until the target's contact set
@@ -29,14 +44,14 @@ func main() {
 	// random recipients) buys rounds.
 	fmt.Println("statistical disclosure: 48 users, 60 recipients, 3 contacts each")
 	for _, cover := range []float64{0, 2} {
-		res, err := sys.RunDisclosure(linkpad.PopulationSpec{
-			Users:      48,
-			Recipients: 60,
-			CoverRate:  cover,
-		}, linkpad.DisclosureConfig{MaxRounds: 6000})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := run(linkpad.DisclosureSpec{
+			Population: linkpad.PopulationSpec{
+				Users:      48,
+				Recipients: 60,
+				CoverRate:  cover,
+			},
+			Disclosure: linkpad.DisclosureConfig{MaxRounds: 6000},
+		}).Disclosure
 		fmt.Printf("  cover %.0fx: %2.0f%% of targets disclosed, mean %4.0f rounds, residual anonymity %.2f\n",
 			cover, 100*res.DisclosedFrac, res.MeanRounds, res.MeanAnonymity)
 	}
@@ -47,19 +62,19 @@ func main() {
 	// flow; CIT padding shrinks the leak to the rate class.
 	fmt.Println("flow correlation: 24 users, 60 s of observation per flow")
 	spec := linkpad.PopulationSpec{Users: 24, Recipients: 60}
-	raw, err := sys.RunFlowCorrelation(spec, linkpad.FlowCorrConfig{Duration: 60, Raw: true})
-	if err != nil {
-		log.Fatal(err)
-	}
+	raw := run(linkpad.FlowCorrelationSpec{
+		Population: spec,
+		Corr:       linkpad.FlowCorrConfig{Duration: 60, Raw: true},
+	}).FlowCorr
 	fmt.Printf("  unpadded: %3.0f%% of flows matched (mean rate correlation %.2f)\n",
 		100*raw.Accuracy, raw.MeanCorrTrue)
-	cit, err := sys.RunFlowCorrelation(spec, linkpad.FlowCorrConfig{
-		Duration: 60,
-		Features: []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	cit := run(linkpad.FlowCorrelationSpec{
+		Population: spec,
+		Corr: linkpad.FlowCorrConfig{
+			Duration: 60,
+			Features: []linkpad.Feature{linkpad.FeatureVariance, linkpad.FeatureEntropy},
+		},
+	}).FlowCorr
 	fmt.Printf("  CIT padded: %3.0f%% of flows matched (correlation %.2f), but class identified for %.0f%%\n",
 		100*cit.Accuracy, cit.MeanCorrTrue, 100*cit.ClassAccuracy)
 	fmt.Println("padding hides the individual inside the class; only cover traffic hides who talks to whom")

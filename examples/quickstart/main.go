@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,16 +25,24 @@ func main() {
 	fmt.Println("CIT link padding, tap at the sender gateway, sample size n = 1000")
 	fmt.Println()
 	fmt.Printf("%-10s %12s %12s %10s\n", "feature", "measured", "theorem", "r")
-	for _, f := range []linkpad.Feature{
+	// One scenario measures every feature statistic against the same
+	// Monte Carlo windows: build the spec, run it.
+	features := []linkpad.Feature{
 		linkpad.FeatureMean, linkpad.FeatureVariance, linkpad.FeatureEntropy,
-	} {
-		res, err := sys.RunAttack(linkpad.AttackConfig{
-			Feature:    f,
-			WindowSize: 1000,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+	sc, err := sys.Build(linkpad.AttackSetSpec{
+		Attack:   linkpad.AttackConfig{WindowSize: 1000},
+		Features: features,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, f := range features {
+		res := out.AttackSet[i]
 		fmt.Printf("%-10s %12.3f %12.3f %10.3f\n",
 			f, res.DetectionRate, res.TheoryDetectionRate, res.EmpiricalR)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,14 +26,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// CIT baseline: how exposed are we?
-	base, err := sys.RunAttack(linkpad.AttackConfig{
-		Feature:    linkpad.FeatureEntropy,
-		WindowSize: n,
-	})
-	if err != nil {
-		log.Fatal(err)
+	// The baseline and verification attacks run through the unified
+	// scenario API against two different systems.
+	run := func(s *linkpad.System, cfg linkpad.AttackConfig) *linkpad.AttackResult {
+		sc, err := s.Build(linkpad.AttackSetSpec{
+			Attack:   cfg,
+			Features: []linkpad.Feature{linkpad.FeatureEntropy},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run(context.Background(), linkpad.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.AttackSet[0]
 	}
+
+	// CIT baseline: how exposed are we?
+	base := run(sys, linkpad.AttackConfig{WindowSize: n})
 	fmt.Printf("CIT baseline: entropy-feature detection %.3f at n=%d (r=%.2f)\n",
 		base.DetectionRate, n, base.EmpiricalR)
 
@@ -66,10 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := hard.RunAttack(attack)
-	if err != nil {
-		log.Fatal(err)
-	}
+	res := run(hard, attack)
 	fmt.Printf("deployed VIT system: detection %.3f (target %.2f)\n",
 		res.DetectionRate, target)
 	fmt.Println()

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,18 +42,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%9.0f:00", hour)
-		for _, f := range []linkpad.Feature{
-			linkpad.FeatureMean, linkpad.FeatureVariance, linkpad.FeatureEntropy,
-		} {
-			res, err := sys.RunAttack(linkpad.AttackConfig{
-				Feature:      f,
+		// One scenario per hour measures all three features on the same
+		// simulated windows.
+		sc, err := sys.Build(linkpad.AttackSetSpec{
+			Attack: linkpad.AttackConfig{
 				WindowSize:   1000,
 				TrainWindows: 150,
 				EvalWindows:  150,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
+			},
+			Features: []linkpad.Feature{
+				linkpad.FeatureMean, linkpad.FeatureVariance, linkpad.FeatureEntropy,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range out.AttackSet {
 			fmt.Printf(" %10.3f", res.DetectionRate)
 		}
 		fmt.Println()

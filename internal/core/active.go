@@ -364,14 +364,14 @@ func (c ActiveDetectConfig) withDefaults() ActiveDetectConfig {
 	return c
 }
 
-// RunActiveDetection runs the active watermark attack end to end: the
+// activeDetection runs the active watermark attack end to end: the
 // adversary first trains per-class PIAT classifiers on phantom flows
 // (fresh unwatermarked realizations of the same chain, so training
 // observes cover traffic, batching and re-padding exactly as run time
 // does), then injects its watermark into every flow and runs the
 // matched-filter detection at the exit tap. Results are identical at
 // any cfg.Workers width; flows are the unit of parallelism.
-func (s *System) RunActiveDetection(spec ActiveSpec, cfg ActiveDetectConfig) (*active.Result, error) {
+func (s *System) activeDetection(spec ActiveSpec, cfg ActiveDetectConfig) (*active.Result, error) {
 	spec = spec.withDefaults()
 	if err := s.validateActive(spec); err != nil {
 		return nil, err
@@ -391,7 +391,7 @@ func (s *System) RunActiveDetection(spec ActiveSpec, cfg ActiveDetectConfig) (*a
 		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
 		func(class, w int) (adversary.PIATSource, error) {
 			fl, err := s.activeFlow(spec, class,
-				phantomUserBase+class*cfg.TrainWindows+w, false)
+				phantomFlowIndex(class, cfg.TrainWindows, w), false)
 			if err != nil {
 				return nil, err
 			}

@@ -435,7 +435,7 @@ func (c CascadeCorrConfig) withDefaults() CascadeCorrConfig {
 	return c
 }
 
-// RunCascadeCorrelation runs the end-to-end correlation attack against a
+// cascadeCorrelation runs the end-to-end correlation attack against a
 // fresh cascade: the adversary first trains per-class PIAT classifiers
 // on phantom flows (fresh realizations of the same route construction,
 // so training observes the full multi-hop re-padding exactly as run time
@@ -443,7 +443,7 @@ func (c CascadeCorrConfig) withDefaults() CascadeCorrConfig {
 // matches exit flows to entry flows by throughput-fingerprint
 // correlation plus exit class posteriors. Results are identical at any
 // cfg.Workers width; flows are the unit of parallelism.
-func (s *System) RunCascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) (*cascade.Result, error) {
+func (s *System) cascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) (*cascade.Result, error) {
 	if err := s.validateCascade(spec); err != nil {
 		return nil, err
 	}
@@ -462,7 +462,7 @@ func (s *System) RunCascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) 
 		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
 		func(class, w int) (adversary.PIATSource, error) {
 			route, err := s.buildRoute(spec, class,
-				phantomUserBase+class*cfg.TrainWindows+w, false)
+				phantomFlowIndex(class, cfg.TrainWindows, w), false)
 			if err != nil {
 				return nil, err
 			}

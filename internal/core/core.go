@@ -586,22 +586,11 @@ type AttackResult struct {
 	TheoryDetectionRate float64
 }
 
-// RunAttack trains the adversary on fresh replicas of the system and
-// measures its detection rate on further replicas, mirroring the paper's
-// off-line training / run-time classification protocol.
-func (s *System) RunAttack(cfg AttackConfig) (*AttackResult, error) {
-	res, err := s.RunAttackSet(cfg, []analytic.Feature{cfg.Feature})
-	if err != nil {
-		return nil, err
-	}
-	return res[0], nil
-}
-
-// RunAttackSet runs the attack for several feature statistics against the
+// attackSet runs the attack for several feature statistics against the
 // *same* Monte Carlo windows in one pass: every training and evaluation
 // window is simulated once and reduced by all feature extractors
 // simultaneously. The padded-stream simulation dominates the attack cost,
-// so a three-feature sweep point runs ~3x faster than three RunAttack
+// so a three-feature sweep point runs ~3x faster than three single-feature
 // calls while measuring every feature on identical data (which the
 // separate calls also did — they replayed the same stream replicas).
 // Results are returned in the order of the features argument.
@@ -621,7 +610,7 @@ func (s *System) RunAttack(cfg AttackConfig) (*AttackResult, error) {
 // ablation-windowing experiment quantifies the residual protocol gap
 // against RunAttackSession's continuous-stream sessions, which implement
 // the paper's consecutive-window observation directly.
-func (s *System) RunAttackSet(cfg AttackConfig, features []analytic.Feature) ([]*AttackResult, error) {
+func (s *System) attackSet(cfg AttackConfig, features []analytic.Feature) ([]*AttackResult, error) {
 	cfg = cfg.withDefaults()
 	if uint32(cfg.TrainStreamID) == uint32(cfg.EvalStreamID) {
 		// Windows are spread across the high bits (windowStreamID), so
@@ -888,11 +877,11 @@ func (s *System) detectionAt(sigmaT float64, attack AttackConfig) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	res, err := sys.RunAttack(attack)
+	set, err := sys.attackSet(attack, []analytic.Feature{attack.Feature})
 	if err != nil {
 		return 0, err
 	}
-	return res.DetectionRate, nil
+	return set[0].DetectionRate, nil
 }
 
 // trainExitClassifiers runs the shared off-line phase of the population,

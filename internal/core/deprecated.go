@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+
+	"linkpad/internal/active"
+	"linkpad/internal/analytic"
+	"linkpad/internal/cascade"
+	"linkpad/internal/population"
+)
+
+// deprecated.go: the pre-Scenario per-protocol entry points, kept as
+// thin wrappers so existing callers keep compiling and producing
+// byte-identical results. Each wrapper builds the equivalent Spec and
+// runs it with zero RunOptions — exactly the old behavior. New code
+// should use Build + Scenario.Run directly.
+
+// run builds and executes spec with default options, for the wrappers.
+func (s *System) run(spec Spec) (*Result, error) {
+	sc, err := s.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Run(context.Background(), RunOptions{})
+}
+
+// RunAttack trains the adversary on fresh replicas of the system and
+// measures its detection rate on further replicas.
+//
+// Deprecated: use Build(AttackSetSpec{...}) and Scenario.Run; this
+// wrapper remains for compatibility.
+func (s *System) RunAttack(cfg AttackConfig) (*AttackResult, error) {
+	res, err := s.RunAttackSet(cfg, []analytic.Feature{cfg.Feature})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunAttackSet runs the replica-window attack for several feature
+// statistics against the same Monte Carlo windows in one pass.
+//
+// Deprecated: use Build(AttackSetSpec{...}) and Scenario.Run; this
+// wrapper remains for compatibility.
+func (s *System) RunAttackSet(cfg AttackConfig, features []analytic.Feature) ([]*AttackResult, error) {
+	res, err := s.run(AttackSetSpec{Attack: cfg, Features: features})
+	if err != nil {
+		return nil, err
+	}
+	return res.AttackSet, nil
+}
+
+// RunAttackSession runs the continuous-stream attack end to end.
+//
+// Deprecated: use Build(SessionAttackSpec{...}) and Scenario.Run; this
+// wrapper remains for compatibility.
+func (s *System) RunAttackSession(cfg SessionAttackConfig) (*SessionAttackResult, error) {
+	res, err := s.run(SessionAttackSpec{Session: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.Session, nil
+}
+
+// RunDisclosure runs the round-based statistical disclosure attack
+// against a fresh population.
+//
+// Deprecated: use Build(DisclosureSpec{...}) and Scenario.Run; this
+// wrapper remains for compatibility.
+func (s *System) RunDisclosure(spec PopulationSpec, cfg population.DisclosureConfig) (*population.DisclosureResult, error) {
+	res, err := s.run(DisclosureSpec{Population: spec, Disclosure: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.Disclosure, nil
+}
+
+// RunFlowCorrelation runs the per-flow population correlation attack
+// end to end.
+//
+// Deprecated: use Build(FlowCorrelationSpec{...}) and Scenario.Run;
+// this wrapper remains for compatibility.
+func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*population.FlowCorrResult, error) {
+	res, err := s.run(FlowCorrelationSpec{Population: spec, Corr: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.FlowCorr, nil
+}
+
+// RunCascadeCorrelation runs the end-to-end correlation attack against
+// a fresh cascade.
+//
+// Deprecated: use Build(CascadeCorrelationSpec{...}) and Scenario.Run;
+// this wrapper remains for compatibility.
+func (s *System) RunCascadeCorrelation(spec CascadeSpec, cfg CascadeCorrConfig) (*cascade.Result, error) {
+	res, err := s.run(CascadeCorrelationSpec{Cascade: spec, Corr: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.Cascade, nil
+}
+
+// RunActiveDetection runs the active watermark attack end to end.
+//
+// Deprecated: use Build(ActiveDetectionSpec{...}) and Scenario.Run;
+// this wrapper remains for compatibility.
+func (s *System) RunActiveDetection(spec ActiveSpec, cfg ActiveDetectConfig) (*active.Result, error) {
+	res, err := s.run(ActiveDetectionSpec{Active: spec, Detect: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.Active, nil
+}

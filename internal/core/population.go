@@ -187,52 +187,54 @@ func (spec PopulationSpec) coverPPS(payload float64) float64 {
 // NewPopulation instantiates the multi-user engine: every user gets a
 // private message source (the system's payload model at its class rate),
 // an optional cover source, and a recipient profile, all derived from
-// (seed, class, userID) role streams in the population domain.
+// (seed, class, userID) role streams in the population domain. The
+// engine materializes users lazily — the builder below is a pure
+// function of the user index, so users hold no resident state until the
+// simulation horizon first reaches one of their arrivals.
 func (s *System) NewPopulation(spec PopulationSpec) (*population.Engine, error) {
 	spec = spec.withDefaults()
 	if err := s.validatePopulation(spec); err != nil {
 		return nil, err
 	}
 	cum := s.classCum(spec.ClassMix)
-	users := make([]population.User, spec.Users)
-	for u := range users {
+	build := func(u int) (population.User, error) {
 		class := classOf(u, spec.Users, cum)
 		pps := s.cfg.Rates[class].PPS
 		payload, err := s.payloadSource(class,
 			xrand.New(s.streamSeed(class, populationStreamID(u, popRolePayload))))
 		if err != nil {
-			return nil, err
+			return population.User{}, err
 		}
 		var cover traffic.Source
 		if c := spec.coverPPS(pps); c > 0 {
 			cover, err = traffic.NewPoisson(c,
 				xrand.New(s.streamSeed(class, populationStreamID(u, popRoleCover))))
 			if err != nil {
-				return nil, err
+				return population.User{}, err
 			}
 		}
 		prng := xrand.New(s.streamSeed(class, populationStreamID(u, popRoleProfile)))
 		profile, err := population.NewProfile(spec.Recipients, spec.Contacts, spec.ContactWeight, prng)
 		if err != nil {
-			return nil, err
+			return population.User{}, err
 		}
 		presence, err := s.presenceSchedule(spec, class, u)
 		if err != nil {
-			return nil, err
+			return population.User{}, err
 		}
 		// The profile construction consumed a prefix of the role stream;
 		// the same stream continues as the user's per-message recipient
 		// draws, keeping every draw a function of (seed, class, userID).
-		users[u] = population.User{
+		return population.User{
 			Class:    class,
 			Messages: payload,
 			Cover:    cover,
 			Profile:  profile,
 			RNG:      prng,
 			Presence: presence,
-		}
+		}, nil
 	}
-	return population.NewEngine(users, spec.Recipients)
+	return population.NewLazyEngine(spec.Users, spec.Recipients, build)
 }
 
 // presenceSchedule builds user u's churn presence schedule from its
@@ -245,18 +247,6 @@ func (s *System) presenceSchedule(spec PopulationSpec, class, user int) (*traffi
 	}
 	return traffic.NewOnOffSchedule(spec.Churn.MeanOn, spec.Churn.MeanOff,
 		xrand.New(s.streamSeed(class, populationStreamID(user, popRoleChurn))))
-}
-
-// RunDisclosure runs the round-based statistical disclosure attack
-// against a fresh population: the engine forms threshold-mix rounds of
-// cfg.Batch messages and the adversary contrasts rounds with and without
-// each target. Results are identical at any cfg.Workers width.
-func (s *System) RunDisclosure(spec PopulationSpec, cfg population.DisclosureConfig) (*population.DisclosureResult, error) {
-	eng, err := s.NewPopulation(spec)
-	if err != nil {
-		return nil, err
-	}
-	return eng.RunDisclosure(cfg)
 }
 
 // FlowCorrConfig parameterizes the population flow-correlation attack
@@ -458,7 +448,14 @@ func (s *System) policyName() string {
 // this index.
 const phantomUserBase = 1 << 24
 
-// RunFlowCorrelation runs the per-flow correlation attack end to end:
+// phantomFlowIndex is the shared phantom index rule: training window w
+// of class `class` maps into the phantom block, TrainWindows slots per
+// class. All three flow protocols train through this one rule.
+func phantomFlowIndex(class, trainWindows, w int) int {
+	return phantomUserBase + class*trainWindows + w
+}
+
+// flowCorrelation runs the per-flow correlation attack end to end:
 // the adversary first trains per-class PIAT classifiers on phantom
 // training flows (fresh realizations of the same link construction, so
 // training observes cover traffic and batching exactly as run time
@@ -466,7 +463,7 @@ const phantomUserBase = 1 << 24
 // matches egress flows to ingress users by throughput-fingerprint
 // correlation plus class posteriors. Results are identical at any
 // cfg.Workers width; users are the unit of parallelism.
-func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*population.FlowCorrResult, error) {
+func (s *System) flowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*population.FlowCorrResult, error) {
 	spec = spec.withDefaults()
 	if err := s.validatePopulation(spec); err != nil {
 		return nil, err
@@ -481,7 +478,7 @@ func (s *System) RunFlowCorrelation(spec PopulationSpec, cfg FlowCorrConfig) (*p
 	classifiers, exts, err := s.trainExitClassifiers(cfg.Features,
 		cfg.TrainWindows, cfg.FeatureWindow, cfg.Workers,
 		func(class, w int) (adversary.PIATSource, error) {
-			phantom := phantomUserBase + class*cfg.TrainWindows + w
+			phantom := phantomFlowIndex(class, cfg.TrainWindows, w)
 			master := xrand.New(s.streamSeed(class,
 				populationStreamID(phantom, popRoleLink)))
 			// Training flows churn exactly as run-time flows do (their own

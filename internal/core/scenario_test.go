@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"linkpad/internal/analytic"
+	"linkpad/internal/population"
+)
+
+// scenario_test.go: the unified Build/Run API. Build must reject bad
+// specs eagerly; Run must honor the shared RunOptions — worker width
+// (result-invariant), master seed (equal to a system built with that
+// seed), observation scale (equal to a manually scaled config), and
+// resume (byte-identical completion) — across the protocols.
+
+func scenarioSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(DefaultLabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBuildValidatesSpecs(t *testing.T) {
+	sys := scenarioSystem(t)
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"nil", nil},
+		{"attackset-no-features", AttackSetSpec{}},
+		{"attackset-aliased-streams", AttackSetSpec{
+			Attack:   AttackConfig{TrainStreamID: 5, EvalStreamID: 5},
+			Features: []analytic.Feature{analytic.FeatureMean},
+		}},
+		{"disclosure-bad-population", DisclosureSpec{
+			Population: PopulationSpec{Users: 1, Recipients: 40},
+		}},
+		{"flowcorr-bad-population", FlowCorrelationSpec{
+			Population: PopulationSpec{Users: 8, Recipients: 2},
+		}},
+		{"active-bad-spec", ActiveDetectionSpec{
+			Active: ActiveSpec{Flows: -1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := sys.Build(tc.spec); err == nil {
+				t.Fatalf("Build accepted invalid spec %+v", tc.spec)
+			}
+		})
+	}
+}
+
+// TestScenarioWorkerOption: RunOptions.Workers overrides the spec's
+// width and never changes the result.
+func TestScenarioWorkerOption(t *testing.T) {
+	sys := scenarioSystem(t)
+	sc, err := sys.Build(DisclosureSpec{
+		Population: PopulationSpec{Users: 24, Recipients: 40, CoverRate: 0.5},
+		Disclosure: population.DisclosureConfig{MaxRounds: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *population.DisclosureResult {
+		res, err := sc.Run(context.Background(), RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Disclosure == nil {
+			t.Fatal("disclosure scenario returned no Disclosure result")
+		}
+		return res.Disclosure
+	}
+	ref := run(1)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: result differs from workers=1", w)
+		}
+	}
+}
+
+// TestScenarioSeedOption: Run with a Seed override equals running the
+// same spec on a system built with that seed.
+func TestScenarioSeedOption(t *testing.T) {
+	cfg := DefaultLabConfig()
+	spec := DisclosureSpec{
+		Population: PopulationSpec{Users: 16, Recipients: 40, CoverRate: 1},
+		Disclosure: population.DisclosureConfig{MaxRounds: 300, Workers: 1},
+	}
+	sysA, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scA, err := sysA.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scA.Run(context.Background(), RunOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	sysB, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scB, err := sysB.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scB.Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Seed override differs from a system built with that seed")
+	}
+	// And the override must actually change the outcome vs the base seed.
+	base, err := scA.Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(base, want) {
+		t.Fatal("seed override produced the base-seed result")
+	}
+}
+
+// TestScenarioScaleOption: Scale multiplies the observation budget
+// exactly as scaling the config by hand would.
+func TestScenarioScaleOption(t *testing.T) {
+	sys := scenarioSystem(t)
+	attack := AttackConfig{WindowSize: 60, TrainWindows: 40, EvalWindows: 40, Workers: 1,
+		Feature: analytic.FeatureEntropy}
+	sc, err := sys.Build(AttackSetSpec{Attack: attack,
+		Features: []analytic.Feature{analytic.FeatureEntropy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Run(context.Background(), RunOptions{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := attack
+	manual.TrainWindows, manual.EvalWindows = 20, 20
+	want, err := sys.RunAttackSet(manual, []analytic.Feature{analytic.FeatureEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.AttackSet, want) {
+		t.Fatal("Scale=0.5 differs from a manually halved window budget")
+	}
+	if _, err := sc.Run(context.Background(), RunOptions{Scale: -1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+// TestScenarioResume: a snapshot taken mid-run resumes through
+// RunOptions.Resume and finishes byte-identically to the uninterrupted
+// scenario run; non-resumable specs reject Resume.
+func TestScenarioResume(t *testing.T) {
+	sys := scenarioSystem(t)
+	pop := PopulationSpec{Users: 16, Recipients: 40, CoverRate: 0.5}
+	dcfg := population.DisclosureConfig{MaxRounds: 400, Workers: 1}
+	sc, err := sys.Build(DisclosureSpec{Population: pop, Disclosure: dcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sc.Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt a low-level run partway and snapshot it.
+	eng, err := sys.NewPopulation(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := eng.StartDisclosure(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Step(137); err != nil {
+		t.Fatal(err)
+	}
+	st, err := run.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sc.Run(context.Background(), RunOptions{Resume: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed.Disclosure, base.Disclosure) {
+		t.Fatal("resumed scenario run differs from uninterrupted run")
+	}
+	other, err := sys.Build(SessionAttackSpec{Session: SessionAttackConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Run(context.Background(), RunOptions{Resume: st}); err == nil {
+		t.Fatal("non-disclosure scenario accepted a Resume state")
+	}
+}
+
+// TestScenarioContextCancel: a cancelled context interrupts the round
+// loop with the context's error.
+func TestScenarioContextCancel(t *testing.T) {
+	sys := scenarioSystem(t)
+	sc, err := sys.Build(DisclosureSpec{
+		Population: PopulationSpec{Users: 16, Recipients: 40},
+		Disclosure: population.DisclosureConfig{MaxRounds: 4000, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sc.Run(ctx, RunOptions{}); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}

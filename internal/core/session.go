@@ -419,13 +419,13 @@ func (a *SessionAttacker) Evaluate(cfg SessionAttackConfig) (*SessionAttackResul
 	return res, nil
 }
 
-// RunAttackSession runs the continuous-stream attack end to end:
+// sessionAttack runs the continuous-stream attack end to end:
 // TrainSessionAttack followed by Evaluate with the same configuration.
 // Sessions (training and evaluation) are deterministic from (seed,
 // class, sessionID) and run on up to cfg.Workers goroutines; results are
 // identical for any worker count. Use the two phases separately to
 // evaluate one training under several run-time knobs.
-func (s *System) RunAttackSession(cfg SessionAttackConfig) (*SessionAttackResult, error) {
+func (s *System) sessionAttack(cfg SessionAttackConfig) (*SessionAttackResult, error) {
 	cfg = cfg.withDefaults()
 	// Fail fast on run-time misconfiguration before paying for training.
 	if err := cfg.validateEvalPhase(); err != nil {

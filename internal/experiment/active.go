@@ -86,7 +86,7 @@ func ExtActive(o Options) (*Table, error) {
 		spec.Flows = 16
 		spec.Mode = active.ModeChaff
 		spec.Amplitude = amp
-		res, err := sys.RunActiveDetection(spec, core.ActiveDetectConfig{
+		res, err := runActiveDetection(sys, spec, core.ActiveDetectConfig{
 			Duration:     duration,
 			Features:     cascadeFeatures,
 			TrainWindows: o.windows(120),
@@ -175,7 +175,7 @@ func AblationWatermarkDefenses(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunActiveDetection(core.ActiveSpec{
+		res, err := runActiveDetection(sys, core.ActiveSpec{
 			Protocol:  core.ActiveCascade,
 			Hops:      r.hops,
 			Flows:     16,

@@ -48,7 +48,7 @@ func BaselinePolicies(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     n,
 			TrainWindows:   o.windows(120),
 			EvalWindows:    o.windows(120),

@@ -53,7 +53,7 @@ func ExtCascade(o Options) (*Table, error) {
 	duration := cascadeDuration(o)
 	rows := make([][]float64, len(hopCounts))
 	err = parMap(len(hopCounts), o.workers(), func(i int) error {
-		res, err := sys.RunCascadeCorrelation(core.CascadeSpec{
+		res, err := runCascadeCorrelation(sys, core.CascadeSpec{
 			Hops:  make([]core.CascadeHop, hopCounts[i]),
 			Flows: 16,
 		}, core.CascadeCorrConfig{
@@ -125,7 +125,7 @@ func AblationHopPolicies(o Options) (*Table, error) {
 	}
 	rows := make([][]float64, len(routes))
 	err = parMap(len(routes), o.workers(), func(i int) error {
-		res, err := sys.RunCascadeCorrelation(core.CascadeSpec{
+		res, err := runCascadeCorrelation(sys, core.CascadeSpec{
 			Hops:  routes[i].hops,
 			Flows: 16,
 		}, core.CascadeCorrConfig{

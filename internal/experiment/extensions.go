@@ -35,7 +35,7 @@ func ExtFeatures(o Options) (*Table, error) {
 	ns := []int{200, 500, 1000}
 	rows := make([][]float64, len(ns))
 	err = parMap(len(ns), o.workers(), func(i int) error {
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     ns[i],
 			TrainWindows:   o.windows(120),
 			EvalWindows:    o.windows(120),
@@ -86,7 +86,7 @@ func ValidateExactNet(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     n,
 			TrainWindows:   o.windows(80),
 			EvalWindows:    o.windows(80),
@@ -178,7 +178,7 @@ func MultiRate(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sys.RunAttack(core.AttackConfig{
+	res, err := runAttack(sys, core.AttackConfig{
 		Feature:        analytic.FeatureEntropy,
 		WindowSize:     1000,
 		TrainWindows:   o.windows(150),
@@ -219,7 +219,7 @@ func AblationBinWidth(o Options) (*Table, error) {
 		return nil, err
 	}
 	for _, wUS := range []float64{0.5, 1, 2, 5, 10, 20, 50} {
-		res, err := sys.RunAttack(core.AttackConfig{
+		res, err := runAttack(sys, core.AttackConfig{
 			Feature:         analytic.FeatureEntropy,
 			WindowSize:      1000,
 			TrainWindows:    o.windows(120),
@@ -257,7 +257,7 @@ func AblationTraining(o Options) (*Table, error) {
 	// simulated windows across all three features.
 	byMode := make([][]*core.AttackResult, 2)
 	for mode, gaussian := range []bool{false, true} {
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     1000,
 			TrainWindows:   o.windows(120),
 			EvalWindows:    o.windows(120),
@@ -296,7 +296,7 @@ func AblationPayload(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     1000,
 			TrainWindows:   o.windows(120),
 			EvalWindows:    o.windows(120),
@@ -341,7 +341,7 @@ func AblationTap(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sys.RunAttack(core.AttackConfig{
+		res, err := runAttack(sys, core.AttackConfig{
 			Feature:        analytic.FeatureEntropy,
 			WindowSize:     1000,
 			TrainWindows:   o.windows(120),

@@ -106,7 +106,7 @@ var extImpairmentCells = &cellExperiment{
 		var acc, anon float64
 		switch proto {
 		case impairReplica:
-			res, err := sys.RunAttack(core.AttackConfig{
+			res, err := runAttack(sys, core.AttackConfig{
 				Feature:        analytic.FeatureEntropy,
 				WindowSize:     1000,
 				TrainWindows:   o.windows(120),
@@ -119,7 +119,7 @@ var extImpairmentCells = &cellExperiment{
 			}
 			acc, anon = res.DetectionRate, binaryAnonymity(res.DetectionRate)
 		case impairSession:
-			res, err := sys.RunAttackSession(core.SessionAttackConfig{
+			res, err := runSessionAttack(sys, core.SessionAttackConfig{
 				Feature:       analytic.FeatureEntropy,
 				WindowSize:    500,
 				TrainSessions: 8,
@@ -134,7 +134,7 @@ var extImpairmentCells = &cellExperiment{
 			}
 			acc, anon = res.DetectionRate, binaryAnonymity(res.DetectionRate)
 		case impairCascade:
-			res, err := sys.RunCascadeCorrelation(core.CascadeSpec{
+			res, err := runCascadeCorrelation(sys, core.CascadeSpec{
 				Hops:  make([]core.CascadeHop, 1),
 				Flows: 16,
 			}, core.CascadeCorrConfig{
@@ -213,7 +213,7 @@ var ablationChurnCells = &cellExperiment{
 				MeanOff: churnPeriod * (1 - frac),
 			}
 		}
-		res, err := sys.RunDisclosure(spec, population.DisclosureConfig{
+		res, err := runDisclosure(sys, spec, population.DisclosureConfig{
 			MaxRounds:  disclosureRounds(o),
 			ChurnAware: aware,
 			Workers:    nested,

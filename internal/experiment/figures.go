@@ -151,7 +151,7 @@ func Fig4b(o Options) (*Table, error) {
 	rs := make([]float64, len(ns))
 	err = parMap(len(ns), o.workers(), func(i int) error {
 		n := ns[i]
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:   n,
 			TrainWindows: o.windows(150),
 			EvalWindows:  o.windows(150),
@@ -201,7 +201,7 @@ func Fig5a(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     n,
 			TrainWindows:   o.windows(120),
 			EvalWindows:    o.windows(120),
@@ -292,7 +292,7 @@ func Fig6(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     n,
 			TrainWindows:   o.windows(120),
 			EvalWindows:    o.windows(120),
@@ -350,7 +350,7 @@ func fig8(o Options, id, title string, hops []core.HopSpec, note string) (*Table
 		if err != nil {
 			return err
 		}
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     n,
 			TrainWindows:   o.windows(100),
 			EvalWindows:    o.windows(100),
@@ -409,7 +409,7 @@ func theoryGapRow(o Options, sigmaT float64) (emp, theory float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := sys.RunAttack(core.AttackConfig{
+	res, err := runAttack(sys, core.AttackConfig{
 		Feature:      analytic.FeatureEntropy,
 		WindowSize:   1000,
 		TrainWindows: o.windows(120),

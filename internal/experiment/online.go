@@ -34,7 +34,7 @@ func ExtOnline(o Options) (*Table, error) {
 	ns := []int{100, 200, 500, 1000}
 	rows := make([][]float64, len(ns))
 	err = parMap(len(ns), o.workers(), func(i int) error {
-		res, err := sys.RunAttackSession(core.SessionAttackConfig{
+		res, err := runSessionAttack(sys, core.SessionAttackConfig{
 			Feature:       analytic.FeatureEntropy,
 			WindowSize:    ns[i],
 			TrainSessions: 8,
@@ -100,7 +100,7 @@ func AblationWindowing(o Options) (*Table, error) {
 		}
 		workers := o.nestedWorkers(len(models))
 		// Replica protocol: i.i.d. windows, matched sample budget.
-		set, err := sys.RunAttackSet(core.AttackConfig{
+		set, err := runAttackSet(sys, core.AttackConfig{
 			WindowSize:     n,
 			TrainWindows:   trainWindows,
 			EvalWindows:    evalSessions * maxWindows,

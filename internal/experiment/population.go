@@ -56,7 +56,7 @@ var extDisclosureCells = &cellExperiment{
 		}
 		n := disclosurePopulations[cell/len(disclosureCovers)]
 		cover := disclosureCovers[cell%len(disclosureCovers)]
-		res, err := sys.RunDisclosure(core.PopulationSpec{
+		res, err := runDisclosure(sys, core.PopulationSpec{
 			Users:      n,
 			Recipients: 60,
 			CoverRate:  cover,
@@ -133,7 +133,7 @@ func AblationPopulationPadding(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunFlowCorrelation(core.PopulationSpec{
+		res, err := runFlowCorrelation(sys, core.PopulationSpec{
 			Users:      24,
 			Recipients: 60,
 			CoverToPPS: policies[i].cover,

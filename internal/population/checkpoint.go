@@ -15,13 +15,15 @@ import (
 // snapshots small: everything that is a pure function of a stream seed —
 // user classes, recipient profiles, churn schedules, slab sizing — is
 // *rebuilt* from the system description on resume, never serialized.
-// What a snapshot carries is only the mutable cursor state: each user's
-// source state and generation cursor, the unconsumed remainder of the
-// merged event queue, and (for a disclosure run) the per-target
-// estimator accumulators. Resuming a snapshot on a freshly rebuilt,
-// identically configured engine continues the run byte-identically to
-// one that was never interrupted; the kill-and-resume tests enforce
-// this at randomized kill points.
+// What a snapshot carries is only the mutable cursor state: the
+// generation cursors of the users that have materialized (a cold user's
+// frontier is exactly what a fresh engine's init pass recomputes, so
+// cold users serialize to nothing at all), the unconsumed remainder of
+// the merged event stream, and (for a disclosure run) the per-target
+// sparse estimator accumulators. Resuming a snapshot on a freshly
+// rebuilt, identically configured engine continues the run
+// byte-identically to one that was never interrupted; the
+// kill-and-resume tests enforce this at randomized kill points.
 //
 // All types marshal with encoding/json. Snapshots validate on restore —
 // a snapshot from a differently shaped population (user count, recipient
@@ -35,8 +37,12 @@ type EventState struct {
 	Dummy bool    `json:"dummy,omitempty"`
 }
 
-// UserEngineState is one user's generation cursor in an engine snapshot.
-type UserEngineState struct {
+// WarmUserState is one materialized user's generation cursor in an
+// engine snapshot. Only warm users appear; everyone still cold is
+// reconstructed from the builder's init pass on resume.
+type WarmUserState struct {
+	// User is the user's index.
+	User int `json:"user"`
 	// Sup is the user's merged payload+cover source state.
 	Sup traffic.SourceState `json:"sup"`
 	// NextT is the absolute time of the user's pending (not yet merged)
@@ -58,39 +64,44 @@ type EngineState struct {
 	SlabEnd float64 `json:"slab_end"`
 	// Rounds is how many rounds the engine has emitted.
 	Rounds int `json:"rounds"`
-	// Queue holds the merged events generated but not yet consumed.
+	// Queue holds the merged events generated but not yet consumed, in
+	// emission order.
 	Queue []EventState `json:"queue"`
-	// States holds every user's generation cursor, in user order.
-	States []UserEngineState `json:"states"`
+	// Warm holds the materialized users' generation cursors, ascending
+	// by user index.
+	Warm []WarmUserState `json:"warm"`
 }
 
 // Snapshot captures the engine's mutable state. The engine is not
 // consumed — a run may snapshot and keep going, which is how periodic
 // checkpointing works.
 func (e *Engine) Snapshot() (*EngineState, error) {
+	pending := e.pendingEvents()
 	st := &EngineState{
-		Users:      len(e.users),
+		Users:      e.n,
 		Recipients: e.nrcpt,
 		SlabEnd:    e.slabEnd,
 		Rounds:     e.rounds,
-		Queue:      make([]EventState, 0, len(e.queue)-e.qi),
-		States:     make([]UserEngineState, len(e.states)),
+		Queue:      make([]EventState, 0, len(pending)),
 	}
-	for _, ev := range e.queue[e.qi:] {
+	for _, ev := range pending {
 		st.Queue = append(st.Queue, EventState{T: ev.t, User: ev.user, Rcpt: ev.rcpt, Dummy: ev.dummy})
 	}
-	for u := range e.states {
-		us := &e.states[u]
-		sup, err := traffic.Snapshot(us.sup)
+	for u, ws := range e.warm {
+		if ws == nil {
+			continue
+		}
+		sup, err := traffic.Snapshot(ws.sup)
 		if err != nil {
 			return nil, fmt.Errorf("population: snapshot user %d: %w", u, err)
 		}
-		st.States[u] = UserEngineState{
+		st.Warm = append(st.Warm, WarmUserState{
+			User:      u,
 			Sup:       sup,
-			NextT:     us.nextT,
-			NextCover: us.nextCover,
-			RNG:       e.users[u].RNG.State(),
-		}
+			NextT:     e.nextT[u],
+			NextCover: e.nextCover[u],
+			RNG:       ws.usr.RNG.State(),
+		})
 	}
 	return st, nil
 }
@@ -99,51 +110,92 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 // population (same system description, spec and seed — the immutable
 // structure is rebuilt, not serialized). Churn schedules need no state:
 // each is a pure function of its private stream, so the rebuilt
-// schedule reproduces the snapshotted one exactly.
+// schedule reproduces the snapshotted one exactly. Likewise every user
+// absent from the snapshot's warm list was cold when it was taken, and
+// the fresh engine's recomputed frontier for it already matches.
 func (e *Engine) Restore(st *EngineState) error {
 	if st == nil {
 		return errors.New("population: nil engine snapshot")
 	}
-	if st.Users != len(e.users) || st.Recipients != e.nrcpt {
+	if st.Users != e.n || st.Recipients != e.nrcpt {
 		return fmt.Errorf("population: snapshot shape %d users/%d recipients, engine has %d/%d",
-			st.Users, st.Recipients, len(e.users), e.nrcpt)
+			st.Users, st.Recipients, e.n, e.nrcpt)
 	}
-	if len(st.States) != len(e.states) {
-		return fmt.Errorf("population: snapshot has %d user states for %d users", len(st.States), len(e.states))
-	}
-	for u := range e.states {
-		us := &e.states[u]
-		ss := &st.States[u]
-		if err := traffic.Restore(us.sup, ss.Sup); err != nil {
-			return fmt.Errorf("population: restore user %d: %w", u, err)
+	for i := range st.Warm {
+		ws := &st.Warm[i]
+		if ws.User < 0 || ws.User >= e.n {
+			return fmt.Errorf("population: snapshot warm user %d out of range", ws.User)
 		}
-		us.nextT = ss.NextT
-		us.nextCover = ss.NextCover
-		e.users[u].RNG.SetState(ss.RNG)
+		if i > 0 && st.Warm[i-1].User >= ws.User {
+			return fmt.Errorf("population: snapshot warm users not ascending at index %d", i)
+		}
+	}
+	for i := range st.Warm {
+		ws := &st.Warm[i]
+		us, err := e.warmUp(ws.User)
+		if err != nil {
+			return err
+		}
+		if err := traffic.Restore(us.sup, ws.Sup); err != nil {
+			return fmt.Errorf("population: restore user %d: %w", ws.User, err)
+		}
+		us.usr.RNG.SetState(ws.RNG)
+		e.nextT[ws.User] = ws.NextT
+		e.nextCover[ws.User] = ws.NextCover
 	}
 	e.slabEnd = st.SlabEnd
 	e.rounds = st.Rounds
-	e.queue = e.queue[:0]
+	e.shards = nil
+	e.heap = e.heap[:0]
+	e.restored = make([]event, 0, len(st.Queue))
 	for _, ev := range st.Queue {
-		e.queue = append(e.queue, event{t: ev.T, user: ev.User, rcpt: ev.Rcpt, dummy: ev.Dummy})
+		e.restored = append(e.restored, event{t: ev.T, user: ev.User, rcpt: ev.Rcpt, dummy: ev.Dummy})
 	}
-	e.qi = 0
+	e.ri = 0
+	if len(e.restored) == 0 {
+		e.restored = nil
+	}
+	return nil
+}
+
+// SparseCounts is one sparse accumulator in a disclosure snapshot:
+// parallel coordinate/count slices with Idx strictly ascending.
+type SparseCounts struct {
+	Idx []int32   `json:"idx,omitempty"`
+	Val []float64 `json:"val,omitempty"`
+}
+
+// validate checks a serialized sparse accumulator's invariants against
+// the recipient space.
+func (s *SparseCounts) validate(what string, nrcpt int) error {
+	if len(s.Idx) != len(s.Val) {
+		return fmt.Errorf("population: snapshot %s has %d indices for %d values",
+			what, len(s.Idx), len(s.Val))
+	}
+	for i, ix := range s.Idx {
+		if ix < 0 || int(ix) >= nrcpt {
+			return fmt.Errorf("population: snapshot %s coordinate %d out of range [0,%d)", what, ix, nrcpt)
+		}
+		if i > 0 && s.Idx[i-1] >= ix {
+			return fmt.Errorf("population: snapshot %s coordinates not ascending at index %d", what, i)
+		}
+	}
 	return nil
 }
 
 // TargetEstimatorState is one target's estimator accumulators in a
 // disclosure snapshot.
 type TargetEstimatorState struct {
-	User       int32     `json:"user"`
-	SumWith    []float64 `json:"sum_with"`
-	SumWithout []float64 `json:"sum_without"`
-	NWith      int       `json:"n_with"`
-	NWithout   int       `json:"n_without"`
-	RoundsWith int       `json:"rounds_with"`
-	Masked     int       `json:"masked,omitempty"`
-	Streak     int       `json:"streak,omitempty"`
-	Disclosed  bool      `json:"disclosed,omitempty"`
-	Rounds     int       `json:"rounds,omitempty"`
+	User       int32        `json:"user"`
+	SumWith    SparseCounts `json:"sum_with"`
+	SumWithout SparseCounts `json:"sum_without"`
+	NWith      int          `json:"n_with"`
+	NWithout   int          `json:"n_without"`
+	RoundsWith int          `json:"rounds_with"`
+	Masked     int          `json:"masked,omitempty"`
+	Streak     int          `json:"streak,omitempty"`
+	Disclosed  bool         `json:"disclosed,omitempty"`
+	Rounds     int          `json:"rounds,omitempty"`
 }
 
 // DisclosureState is a serializable snapshot of a disclosure run in
@@ -170,9 +222,15 @@ func (run *DisclosureRun) Snapshot() (*DisclosureState, error) {
 	for i := range run.d.targets {
 		t := &run.d.targets[i]
 		st.Targets[i] = TargetEstimatorState{
-			User:       t.user,
-			SumWith:    append([]float64(nil), t.sumWith...),
-			SumWithout: append([]float64(nil), t.sumWithout...),
+			User: t.user,
+			SumWith: SparseCounts{
+				Idx: append([]int32(nil), t.sumWith.idx...),
+				Val: append([]float64(nil), t.sumWith.val...),
+			},
+			SumWithout: SparseCounts{
+				Idx: append([]int32(nil), t.sumWithout.idx...),
+				Val: append([]float64(nil), t.sumWithout.val...),
+			},
 			NWith:      t.nWith,
 			NWithout:   t.nWithout,
 			RoundsWith: t.roundsWith,
@@ -211,12 +269,14 @@ func (e *Engine) ResumeDisclosure(cfg DisclosureConfig, st *DisclosureState) (*D
 			return nil, fmt.Errorf("population: snapshot target %d is user %d, config selects user %d",
 				i, ts.User, t.user)
 		}
-		if len(ts.SumWith) != e.nrcpt || len(ts.SumWithout) != e.nrcpt {
-			return nil, fmt.Errorf("population: snapshot target %d estimator spans %d recipients, engine has %d",
-				i, len(ts.SumWith), e.nrcpt)
+		if err := ts.SumWith.validate(fmt.Sprintf("target %d sum_with", i), e.nrcpt); err != nil {
+			return nil, err
 		}
-		copy(t.sumWith, ts.SumWith)
-		copy(t.sumWithout, ts.SumWithout)
+		if err := ts.SumWithout.validate(fmt.Sprintf("target %d sum_without", i), e.nrcpt); err != nil {
+			return nil, err
+		}
+		t.sumWith.setPairs(ts.SumWith.Idx, ts.SumWith.Val)
+		t.sumWithout.setPairs(ts.SumWithout.Idx, ts.SumWithout.Val)
 		t.nWith = ts.NWith
 		t.nWithout = ts.NWithout
 		t.roundsWith = ts.RoundsWith

@@ -310,8 +310,19 @@ func TestResumeDisclosureValidates(t *testing.T) {
 	}
 	bad := *st
 	bad.Targets = append([]TargetEstimatorState(nil), st.Targets...)
-	bad.Targets[0].SumWith = bad.Targets[0].SumWith[:3]
+	if len(bad.Targets[0].SumWith.Idx) < 2 {
+		t.Fatal("estimator support unexpectedly tiny; corruption test needs entries")
+	}
+	bad.Targets[0].SumWith.Idx = bad.Targets[0].SumWith.Idx[:len(bad.Targets[0].SumWith.Idx)-1]
 	if _, err := buildEngine(t, 12, false).ResumeDisclosure(cfg, &bad); err == nil {
-		t.Error("snapshot with a truncated estimator resumed")
+		t.Error("snapshot with mismatched estimator index/value lengths resumed")
+	}
+	unsorted := *st
+	unsorted.Targets = append([]TargetEstimatorState(nil), st.Targets...)
+	uw := &unsorted.Targets[0].SumWith
+	uw.Idx = append([]int32(nil), uw.Idx...)
+	uw.Idx[0], uw.Idx[1] = uw.Idx[1], uw.Idx[0]
+	if _, err := buildEngine(t, 12, false).ResumeDisclosure(cfg, &unsorted); err == nil {
+		t.Error("snapshot with non-ascending estimator coordinates resumed")
 	}
 }

@@ -117,11 +117,17 @@ type FlowCorrResult struct {
 	MeanCorrTrue float64
 }
 
-// flowObs is the reduced observation of one user/flow pair.
+// flowObs is the reduced observation of one user/flow pair. The
+// throughput fingerprints are stored sparse — only the non-empty rate
+// bins — and materialized into dense scratch for scoring, so resident
+// fingerprint memory scales with traffic actually observed rather than
+// with users × bins. A mostly idle or churned-out flow costs its active
+// windows only; the Pearson scoring sees the exact dense vectors
+// RateVector produced.
 type flowObs struct {
 	class   int
-	ingRate []float64
-	egRate  []float64
+	ing     sparseVec
+	eg      sparseVec
 	logPost []float64 // class log posteriors of the egress flow (clamped)
 }
 
@@ -165,7 +171,9 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 	outs := make([][]float64, workers)
 	piats := make([][]float64, workers)
 	lps := make([][]float64, workers)
+	rateScr := make([][]float64, workers) // per-worker dense bin scratch
 	for i := range pipes {
+		rateScr[i] = make([]float64, bins)
 		if len(cfg.Extractors) > 0 {
 			mp, err := adversary.NewMultiPipeline(cfg.Extractors)
 			if err != nil {
@@ -182,14 +190,21 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 		}
 		o := &obs[u]
 		o.class = flow.Class
-		o.ingRate = make([]float64, bins)
-		o.egRate = make([]float64, bins)
-		if _, err := adversary.RateVector(flow.Ingress, 0, cfg.RateWindow, o.ingRate); err != nil {
+		dense := rateScr[worker]
+		for i := range dense {
+			dense[i] = 0
+		}
+		if _, err := adversary.RateVector(flow.Ingress, 0, cfg.RateWindow, dense); err != nil {
 			return err
 		}
-		if _, err := adversary.RateVector(flow.Egress, 0, cfg.RateWindow, o.egRate); err != nil {
+		o.ing.compress(dense)
+		for i := range dense {
+			dense[i] = 0
+		}
+		if _, err := adversary.RateVector(flow.Egress, 0, cfg.RateWindow, dense); err != nil {
 			return err
 		}
+		o.eg.compress(dense)
 		if len(cfg.Classifiers) == 0 {
 			return nil
 		}
@@ -224,26 +239,34 @@ func CorrelateFlows(sim FlowSimulator, users int, cfg FlowCorrConfig) (*FlowCorr
 	}
 
 	// Score every (user, flow) pair: rate correlation plus the egress
-	// flow's posterior for the ingress user's class.
+	// flow's posterior for the ingress user's class. The sparse
+	// fingerprints materialize into two reusable dense vectors — the
+	// egress side once per flow, the ingress side per pair — so the
+	// Pearson terms are computed over the identical dense vectors the
+	// previous dense storage held.
 	score := make([]float64, users*users)
 	corrTrue := 0.0
+	egDense := make([]float64, bins)
+	ingDense := make([]float64, bins)
 	var mask []bool
 	if cfg.MaskAbsent {
 		mask = make([]bool, bins)
 	}
 	for f := 0; f < users; f++ {
+		obs[f].eg.scatter(egDense)
 		if mask != nil {
-			for i, v := range obs[f].egRate {
+			for i, v := range egDense {
 				mask[i] = v > 0
 			}
 		}
 		for u := 0; u < users; u++ {
+			obs[u].ing.scatter(ingDense)
 			var corr float64
 			var err error
 			if mask != nil {
-				corr, err = adversary.PearsonMasked(obs[u].ingRate, obs[f].egRate, mask)
+				corr, err = adversary.PearsonMasked(ingDense, egDense, mask)
 			} else {
-				corr, err = adversary.Pearson(obs[u].ingRate, obs[f].egRate)
+				corr, err = adversary.Pearson(ingDense, egDense)
 			}
 			if err != nil {
 				return nil, err

@@ -22,11 +22,20 @@
 // draws — is a private deterministic stream (core derives it from
 // (seed, class, userID) in the population stream domain), so per-user
 // generation parallelizes to any worker count with byte-identical
-// results. Users are the unit of parallelism: event generation fans out
-// across users in time slabs, and the cheap global merge that orders
-// events and forms mix rounds is a sequential reduction whose output is
-// a pure function of the per-user streams. The round loop is
-// allocation-free in steady state.
+// results.
+//
+// Scale architecture (million-user populations): users are partitioned
+// into fixed cache-sized shards. Each generation slab extends every
+// shard's event horizon in parallel and sorts the shard's events by
+// (time, user); the global round stream is then a streaming k-way
+// reduction — an index min-heap over the shard frontiers — that replays
+// exactly the total (time, user) order the previous concat-and-sort
+// merge produced. Users are materialized lazily: a cold user holds only
+// its frontier (next arrival time and origin, ~9 bytes), and its full
+// source state is rebuilt from the pure per-user Builder the first time
+// it actually sends, so resident memory is dominated by the compact
+// frontier plus the users active so far, not by N fully built source
+// stacks. The round loop is allocation-free in steady state.
 package population
 
 import (
@@ -141,6 +150,14 @@ type User struct {
 	Presence *traffic.OnOffSchedule
 }
 
+// Builder materializes one user from its index. A builder must be pure:
+// calling it twice with the same index must yield two fresh, identically
+// seeded source stacks (the repository's (seed, class, userID) stream
+// derivation satisfies this by construction). The engine relies on
+// purity twice — cold users are rebuilt on their first send, and
+// checkpoint resume rebuilds every user it restores state into.
+type Builder func(u int) (User, error)
+
 // event is one message entering the shared infrastructure.
 type event struct {
 	t     float64
@@ -151,7 +168,7 @@ type event struct {
 
 // eventSorter orders events by time, tie-breaking by user index so the
 // merge is deterministic even in the (measure-zero) case of equal
-// timestamps. Held by pointer on the engine so sorting allocates nothing.
+// timestamps. Held by value on each shard so sorting allocates nothing.
 type eventSorter struct{ ev []event }
 
 func (s *eventSorter) Len() int      { return len(s.ev) }
@@ -163,14 +180,23 @@ func (s *eventSorter) Less(i, j int) bool {
 	return s.ev[i].user < s.ev[j].user
 }
 
-// userState is one user's generation cursor: the merged real+cover
-// stream, the pending (not yet emitted) event's time and origin, and the
-// user's reusable slab buffer.
+// userState is one warm user's full materialization: the built sources
+// plus the merged real+cover stream. Cold users have no userState at
+// all — their generation cursor lives in the engine's frontier arrays.
 type userState struct {
-	sup       *traffic.Superpose
-	nextT     float64
-	nextCover bool
-	buf       []event
+	usr User
+	sup *traffic.Superpose
+}
+
+// shard is one contiguous user range's generation unit: the slab buffer
+// of its users' events (sorted by (t, user) after generation), the merge
+// cursor into it, and reusable sorter/bookkeeping so a refill allocates
+// nothing beyond amortized buffer growth.
+type shard struct {
+	buf    []event
+	pos    int
+	active int // users that emitted at least one event this slab
+	sorter eventSorter
 }
 
 // Round is one batch of the population mix as both sides of the
@@ -191,144 +217,480 @@ type Round struct {
 // merged into one time-ordered sequence and cut into mix rounds. Like
 // the Source and Session types it is a stateful stream — one pass per
 // engine; build a fresh engine per run. It is not safe for concurrent
-// use, but its internal generation fans out across users on up to
+// use, but its internal generation fans out across user shards on up to
 // SetWorkers goroutines with byte-identical output at any width.
 type Engine struct {
-	users  []User
-	nrcpt  int
-	states []userState
+	n     int
+	nrcpt int
+	build Builder // nil for an eagerly built engine
 
-	workers int
-	slabLen float64
-	slabEnd float64
-	queue   []event
-	qi      int
-	sorter  eventSorter
-	rounds  int
-	probe   *obs.Shard
+	// Frontier (all users, cold included): the absolute time and origin
+	// of each user's pending arrival. ~9 bytes per user is the whole
+	// per-user cost of a cold user.
+	nextT     []float64
+	nextCover []bool
+	// warm holds the materialized users (nil while cold). A user warms on
+	// its first generated event and stays warm.
+	warm []*userState
+
+	workers   int
+	slabLen   float64
+	slabEnd   float64
+	shardSize int
+	shards    []shard
+	heap      []int32 // shard indices, min-heap by head event (t, user)
+
+	// restored holds a checkpoint's unconsumed merge remainder; it drains
+	// before the shard reduction resumes.
+	restored []event
+	ri       int
+
+	rounds int
+	probe  *obs.Shard
 }
 
 // targetSlabEvents sizes generation slabs: each parallel fan-out should
 // produce about this many events so the merge cost amortizes.
 const targetSlabEvents = 4096
 
-// NewEngine assembles an engine over the users and the shared recipient
-// space. Each user's sources and RNG must be non-nil (Cover may be nil)
-// and private to that user.
+// defaultShardSize is the user count per generation shard: small enough
+// that a shard's frontier slice and slab buffer stay cache-resident,
+// large enough that the per-shard fan-out overhead amortizes.
+const defaultShardSize = 1024
+
+// NewEngine assembles an engine over pre-built users and the shared
+// recipient space. Each user's sources and RNG must be non-nil (Cover
+// may be nil) and private to that user. Every user is warm from the
+// start; for large populations prefer NewLazyEngine, which materializes
+// users on demand.
 func NewEngine(users []User, recipients int) (*Engine, error) {
-	if len(users) < 2 {
+	e, err := newEngine(len(users), recipients, defaultShardSize)
+	if err != nil {
+		return nil, err
+	}
+	var totalRate float64
+	for u := range users {
+		usr := &users[u]
+		if err := validateUser(usr, u, recipients); err != nil {
+			return nil, err
+		}
+		sup, err := superposeUser(usr)
+		if err != nil {
+			return nil, err
+		}
+		gap, src := sup.NextFrom()
+		e.nextT[u] = gap
+		e.nextCover[u] = src == 1
+		e.warm[u] = &userState{usr: *usr, sup: sup}
+		totalRate += sup.Rate()
+	}
+	return e, e.finishInit(totalRate)
+}
+
+// NewLazyEngine assembles an engine over n users materialized on demand
+// from a pure Builder. Construction makes one pass over the population
+// (in parallel shards) to validate every user and record its compact
+// frontier — first arrival time, origin, aggregate rate — and then
+// discards the built source stacks. A user's full state is rebuilt from
+// the builder the first time it sends; users that never send within the
+// observed horizon never hold source state at all, which is what keeps
+// million-user populations resident-memory-cheap.
+func NewLazyEngine(n, recipients int, build Builder) (*Engine, error) {
+	return newLazyEngine(n, recipients, defaultShardSize, build)
+}
+
+// newLazyEngine is NewLazyEngine with an explicit shard size (tests use
+// small shards to exercise the multi-shard reduction on small N).
+func newLazyEngine(n, recipients, shardSize int, build Builder) (*Engine, error) {
+	if build == nil {
+		return nil, errors.New("population: nil user builder")
+	}
+	e, err := newEngine(n, recipients, shardSize)
+	if err != nil {
+		return nil, err
+	}
+	e.build = build
+	// Init pass: one parallel sweep over the shards builds each user once,
+	// records its frontier, and drops the materialized state. Per-shard
+	// rate partials summed in shard order keep the aggregate-rate float
+	// identical at any worker count.
+	nshards := e.numShards()
+	partial := make([]float64, nshards)
+	err = par.MapWorker(nshards, 0, func(_, sh int) error {
+		lo, hi := e.shardRange(sh)
+		var rate float64
+		for u := lo; u < hi; u++ {
+			usr, err := build(u)
+			if err != nil {
+				return fmt.Errorf("population: build user %d: %w", u, err)
+			}
+			if err := validateUser(&usr, u, recipients); err != nil {
+				return err
+			}
+			sup, err := superposeUser(&usr)
+			if err != nil {
+				return err
+			}
+			gap, src := sup.NextFrom()
+			e.nextT[u] = gap
+			e.nextCover[u] = src == 1
+			rate += sup.Rate()
+		}
+		partial[sh] = rate
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totalRate float64
+	for _, r := range partial {
+		totalRate += r
+	}
+	return e, e.finishInit(totalRate)
+}
+
+// newEngine allocates the frontier arrays and validates the shape.
+func newEngine(n, recipients, shardSize int) (*Engine, error) {
+	if n < 2 {
 		return nil, errors.New("population: need at least two users")
 	}
 	if recipients < 2 {
 		return nil, errors.New("population: need at least two recipients")
 	}
-	e := &Engine{users: users, nrcpt: recipients, states: make([]userState, len(users)), probe: obs.NewShard()}
-	var totalRate float64
-	for u := range users {
-		usr := &users[u]
-		if usr.Messages == nil || usr.RNG == nil {
-			return nil, fmt.Errorf("population: user %d missing sources", u)
-		}
-		if usr.Class < 0 {
-			return nil, fmt.Errorf("population: user %d has negative class", u)
-		}
-		if int(usr.Profile.nrcpt) != recipients {
-			return nil, fmt.Errorf("population: user %d profile spans %d recipients, engine has %d",
-				u, usr.Profile.nrcpt, recipients)
-		}
-		srcs := []traffic.Source{usr.Messages}
-		if usr.Cover != nil {
-			srcs = append(srcs, usr.Cover)
-		}
-		sup, err := traffic.NewSuperpose(srcs...)
-		if err != nil {
-			return nil, err
-		}
-		st := &e.states[u]
-		st.sup = sup
-		gap, src := sup.NextFrom()
-		st.nextT = gap
-		st.nextCover = src == 1
-		totalRate += sup.Rate()
+	if shardSize < 1 {
+		return nil, errors.New("population: shard size must be positive")
 	}
+	return &Engine{
+		n:         n,
+		nrcpt:     recipients,
+		nextT:     make([]float64, n),
+		nextCover: make([]bool, n),
+		warm:      make([]*userState, n),
+		shardSize: shardSize,
+		probe:     obs.NewShard(),
+	}, nil
+}
+
+// finishInit derives the slab length from the population's aggregate
+// rate.
+func (e *Engine) finishInit(totalRate float64) error {
 	if !(totalRate > 0) {
-		return nil, errors.New("population: population has zero aggregate rate")
+		return errors.New("population: population has zero aggregate rate")
 	}
 	e.slabLen = targetSlabEvents / totalRate
-	return e, nil
+	return nil
+}
+
+// validateUser checks one user's shape against the engine.
+func validateUser(usr *User, u, recipients int) error {
+	if usr.Messages == nil || usr.RNG == nil {
+		return fmt.Errorf("population: user %d missing sources", u)
+	}
+	if usr.Class < 0 {
+		return fmt.Errorf("population: user %d has negative class", u)
+	}
+	if int(usr.Profile.nrcpt) != recipients {
+		return fmt.Errorf("population: user %d profile spans %d recipients, engine has %d",
+			u, usr.Profile.nrcpt, recipients)
+	}
+	return nil
+}
+
+// superposeUser merges a user's payload and cover sources.
+func superposeUser(usr *User) (*traffic.Superpose, error) {
+	srcs := []traffic.Source{usr.Messages}
+	if usr.Cover != nil {
+		srcs = append(srcs, usr.Cover)
+	}
+	return traffic.NewSuperpose(srcs...)
+}
+
+// numShards returns the shard count of the fixed user partition.
+func (e *Engine) numShards() int {
+	return (e.n + e.shardSize - 1) / e.shardSize
+}
+
+// shardRange returns shard sh's half-open user range.
+func (e *Engine) shardRange(sh int) (lo, hi int) {
+	lo = sh * e.shardSize
+	hi = lo + e.shardSize
+	if hi > e.n {
+		hi = e.n
+	}
+	return lo, hi
+}
+
+// warmUp materializes user u: the pure builder recreates its source
+// stack and the superpose replays the one frontier draw construction
+// consumed, so the rebuilt cursor lands exactly on the recorded
+// frontier. Warm users stay warm.
+func (e *Engine) warmUp(u int) (*userState, error) {
+	if st := e.warm[u]; st != nil {
+		return st, nil
+	}
+	if e.build == nil {
+		return nil, fmt.Errorf("population: user %d has no state and the engine has no builder", u)
+	}
+	usr, err := e.build(u)
+	if err != nil {
+		return nil, fmt.Errorf("population: rebuild user %d: %w", u, err)
+	}
+	if err := validateUser(&usr, u, e.nrcpt); err != nil {
+		return nil, err
+	}
+	sup, err := superposeUser(&usr)
+	if err != nil {
+		return nil, err
+	}
+	// Replay the frontier draw: the init pass consumed one NextFrom to
+	// record (nextT, nextCover); re-consuming it aligns the fresh stream
+	// with the stored frontier.
+	sup.NextFrom()
+	st := &userState{usr: usr, sup: sup}
+	e.warm[u] = st
+	return st, nil
+}
+
+// mustUser materializes user u for the read-only accessors. A failure
+// here means the builder is impure (the init pass already built every
+// user once), which no error return can make safe — panic loudly.
+func (e *Engine) mustUser(u int) *userState {
+	st, err := e.warmUp(u)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 // Users returns the population size.
-func (e *Engine) Users() int { return len(e.users) }
+func (e *Engine) Users() int { return e.n }
 
 // Recipients returns the size of the recipient space.
 func (e *Engine) Recipients() int { return e.nrcpt }
 
-// Class returns user u's class index.
-func (e *Engine) Class(u int) int { return e.users[u].Class }
+// WarmUsers returns how many users hold materialized source state — the
+// resident-memory-relevant population, as opposed to Users().
+func (e *Engine) WarmUsers() int {
+	w := 0
+	for _, st := range e.warm {
+		if st != nil {
+			w++
+		}
+	}
+	return w
+}
 
-// ContactsOf returns a copy of user u's contact set, heaviest first.
-func (e *Engine) ContactsOf(u int) []int32 { return e.users[u].Profile.Contacts() }
+// Class returns user u's class index, materializing the user if needed.
+func (e *Engine) Class(u int) int { return e.mustUser(u).usr.Class }
+
+// ContactsOf returns a copy of user u's contact set, heaviest first,
+// materializing the user if needed.
+func (e *Engine) ContactsOf(u int) []int32 { return e.mustUser(u).usr.Profile.Contacts() }
 
 // PresenceOf returns user u's churn schedule (nil when the user never
-// churns). The schedule is stateful under query; the engine and any
-// estimator holding it must not be used concurrently.
-func (e *Engine) PresenceOf(u int) *traffic.OnOffSchedule { return e.users[u].Presence }
+// churns), materializing the user if needed. The schedule is stateful
+// under query; the engine and any estimator holding it must not be used
+// concurrently.
+func (e *Engine) PresenceOf(u int) *traffic.OnOffSchedule { return e.mustUser(u).usr.Presence }
 
 // Rounds returns how many rounds have been emitted so far.
 func (e *Engine) Rounds() int { return e.rounds }
 
-// SetWorkers bounds the per-user generation parallelism (values < 1 mean
-// all CPUs). Results are identical at any width.
+// SetWorkers bounds the per-shard generation parallelism (values < 1
+// mean all CPUs). Results are identical at any width.
 func (e *Engine) SetWorkers(w int) { e.workers = w }
 
-// refill advances the generation horizon by one slab: every user extends
-// its private event stream up to the new horizon in parallel, then the
-// slabs are merged into one time-ordered queue. Each user's events are a
-// pure function of its own streams, so the merged queue is identical at
-// any worker count.
+// SetProbe reroutes the engine's telemetry counters through the given
+// shard (nil restores a private shard). Counters never influence any
+// draw, so the probe cannot change a single table value.
+func (e *Engine) SetProbe(p *obs.Shard) {
+	if p == nil {
+		p = obs.NewShard()
+	}
+	e.probe = p
+}
+
+// refill advances the generation horizon by one slab: every shard
+// extends its users' private event streams up to the new horizon in
+// parallel and sorts its slab by (time, user); the global merge then
+// streams from the shard frontiers through an index min-heap. Each
+// user's events are a pure function of its own streams and shards are
+// disjoint user ranges, so the reduction's total order — ascending
+// (time, user) — is identical at any worker count and identical to the
+// previous concat-and-global-sort merge.
 func (e *Engine) refill() error {
+	if e.shards == nil {
+		e.shards = make([]shard, e.numShards())
+	}
 	e.slabEnd += e.slabLen
-	err := par.MapWorker(len(e.users), e.workers, func(_, u int) error {
-		st := &e.states[u]
-		st.buf = st.buf[:0]
-		usr := &e.users[u]
-		for st.nextT < e.slabEnd {
+	err := par.MapWorker(len(e.shards), e.workers, func(_, sh int) error {
+		return e.genShard(sh)
+	})
+	if err != nil {
+		return err
+	}
+	// Counted in the sequential reduction (never the parallel fan-out):
+	// a user is active in this generation slab if it produced events.
+	for i := range e.shards {
+		e.probe.Add(obs.PopulationActiveUser, uint64(e.shards[i].active))
+	}
+	e.buildHeap()
+	return nil
+}
+
+// genShard regenerates shard sh's slab buffer up to the current horizon.
+func (e *Engine) genShard(sh int) error {
+	s := &e.shards[sh]
+	s.buf = s.buf[:0]
+	s.pos = 0
+	s.active = 0
+	lo, hi := e.shardRange(sh)
+	for u := lo; u < hi; u++ {
+		if e.nextT[u] >= e.slabEnd {
+			continue
+		}
+		st, err := e.warmUp(u)
+		if err != nil {
+			return err
+		}
+		usr := &st.usr
+		n0 := len(s.buf)
+		for e.nextT[u] < e.slabEnd {
 			// Recipients are drawn for every generated arrival, present or
 			// not, so a user's recipient stream position depends only on its
 			// arrival count — adding churn perturbs which messages exist,
 			// not how the survivors draw.
 			var rcpt int32
-			if st.nextCover {
+			if e.nextCover[u] {
 				rcpt = int32(usr.RNG.Intn(e.nrcpt))
 			} else {
 				rcpt = usr.Profile.Draw(usr.RNG)
 			}
-			if usr.Presence == nil || usr.Presence.UpAt(st.nextT) {
-				st.buf = append(st.buf, event{t: st.nextT, user: int32(u), rcpt: rcpt, dummy: st.nextCover})
+			if usr.Presence == nil || usr.Presence.UpAt(e.nextT[u]) {
+				s.buf = append(s.buf, event{t: e.nextT[u], user: int32(u), rcpt: rcpt, dummy: e.nextCover[u]})
 			}
 			gap, src := st.sup.NextFrom()
-			st.nextT += gap
-			st.nextCover = src == 1
+			e.nextT[u] += gap
+			e.nextCover[u] = src == 1
 		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	e.queue = e.queue[:0]
-	for u := range e.states {
-		// Counted in the sequential merge (never the parallel fan-out):
-		// a user is active in this generation slab if it produced events.
-		if len(e.states[u].buf) > 0 {
-			e.probe.Inc(obs.PopulationActiveUser)
+		if len(s.buf) > n0 {
+			s.active++
 		}
-		e.queue = append(e.queue, e.states[u].buf...)
 	}
-	e.sorter.ev = e.queue
-	sort.Sort(&e.sorter)
-	e.qi = 0
+	s.sorter.ev = s.buf
+	sort.Sort(&s.sorter)
 	return nil
+}
+
+// heapLess orders two shards by their head events' (time, user) key.
+// Shards are disjoint ascending user ranges, so this tie-break matches
+// the sort comparator's.
+func (e *Engine) heapLess(a, b int32) bool {
+	sa, sb := &e.shards[a], &e.shards[b]
+	ea, eb := &sa.buf[sa.pos], &sb.buf[sb.pos]
+	if ea.t != eb.t {
+		return ea.t < eb.t
+	}
+	return ea.user < eb.user
+}
+
+// siftDown restores the merge heap below position i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.heapLess(h[r], h[l]) {
+			m = r
+		}
+		if !e.heapLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// buildHeap (re)establishes the merge heap over the non-empty shards.
+func (e *Engine) buildHeap() {
+	e.heap = e.heap[:0]
+	for i := range e.shards {
+		if e.shards[i].pos < len(e.shards[i].buf) {
+			e.heap = append(e.heap, int32(i))
+		}
+	}
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// popEvent emits the next event of the merged stream: the checkpoint
+// remainder first, then the k-way shard reduction. ok is false when the
+// current slab is exhausted and the caller must refill.
+func (e *Engine) popEvent() (ev event, ok bool) {
+	if e.ri < len(e.restored) {
+		ev = e.restored[e.ri]
+		e.ri++
+		if e.ri == len(e.restored) {
+			e.restored = nil
+			e.ri = 0
+		}
+		return ev, true
+	}
+	if len(e.heap) == 0 {
+		return event{}, false
+	}
+	s := &e.shards[e.heap[0]]
+	ev = s.buf[s.pos]
+	s.pos++
+	if s.pos >= len(s.buf) {
+		last := len(e.heap) - 1
+		e.heap[0] = e.heap[last]
+		e.heap = e.heap[:last]
+	}
+	if len(e.heap) > 0 {
+		e.siftDown(0)
+	}
+	return ev, true
+}
+
+// pendingEvents collects the unconsumed remainder of the merged stream
+// in emission order without consuming it (checkpoint support; rare, so
+// the simple repeated min-scan over shard cursors is fine).
+func (e *Engine) pendingEvents() []event {
+	var out []event
+	if e.ri < len(e.restored) {
+		out = append(out, e.restored[e.ri:]...)
+	}
+	pos := make([]int, len(e.shards))
+	for i := range e.shards {
+		pos[i] = e.shards[i].pos
+	}
+	for {
+		best := -1
+		for i := range e.shards {
+			if pos[i] >= len(e.shards[i].buf) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			ea, eb := &e.shards[i].buf[pos[i]], &e.shards[best].buf[pos[best]]
+			if ea.t < eb.t || (ea.t == eb.t && ea.user < eb.user) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, e.shards[best].buf[pos[best]])
+		pos[best]++
+	}
 }
 
 // NextRound emits the next mix round: the next `batch` messages of the
@@ -344,14 +706,13 @@ func (e *Engine) NextRound(batch int, r *Round) error {
 	r.Dummy = r.Dummy[:0]
 	r.Times = r.Times[:0]
 	for len(r.Users) < batch {
-		if e.qi >= len(e.queue) {
+		ev, ok := e.popEvent()
+		if !ok {
 			if err := e.refill(); err != nil {
 				return err
 			}
 			continue
 		}
-		ev := &e.queue[e.qi]
-		e.qi++
 		if ev.dummy {
 			e.probe.Inc(obs.TrafficCover)
 		} else {

@@ -20,6 +20,16 @@ import (
 // contact set stably. Cover traffic resists the attack twice over: the
 // target's observable sends carry less and less real signal, and
 // everyone else's dummies brighten the background noise.
+//
+// The estimators are sparse (sparse.go): each target accumulates only
+// the recipients actually delivered in its observed rounds, never a
+// dense length-R vector, so estimator memory scales with observed
+// support rather than with the recipient space. Every quantity the
+// attack reports — the difference-of-means estimate, the top-k contact
+// test, the entropy — is computed from the sparse accumulators
+// bit-identically to the dense formulation (absent coordinates are
+// exactly zero, and zero coordinates are exact no-ops in every sum);
+// sda_ref_test.go checks this against a dense reference implementation.
 
 // DisclosureConfig parameterizes one statistical-disclosure run.
 type DisclosureConfig struct {
@@ -60,6 +70,15 @@ type DisclosureConfig struct {
 	// Workers bounds the engine's per-user generation parallelism;
 	// results are identical at any width. Zero means all CPUs.
 	Workers int
+}
+
+// WithDefaults returns the configuration with every zero field replaced
+// by its default for a users-sized population. StartDisclosure applies
+// it internally; callers that must reason about the effective knobs
+// before running (budget scaling, checkpoint cadence) call it directly.
+// Idempotent.
+func (c DisclosureConfig) WithDefaults(users int) DisclosureConfig {
+	return c.withDefaults(users)
 }
 
 // withDefaults fills zero fields.
@@ -124,15 +143,18 @@ type DisclosureResult struct {
 	MeanAnonymity float64
 }
 
-// targetState is the adversary's running estimator for one target.
+// targetState is the adversary's running estimator for one target. The
+// conditional-mean accumulators are sparse: coordinates appear as the
+// corresponding recipients are first delivered in an observed round.
 type targetState struct {
 	user       int32
 	contacts   []int32 // sorted ascending, the set to identify
 	presence   *traffic.OnOffSchedule
-	sumWith    []float64
-	sumWithout []float64
+	sumWith    sparseVec
+	sumWithout sparseVec
 	nWith      int
 	nWithout   int
+	iw, iwo    float64 // 1/nWith, 1/nWithout, refreshed by estReady
 	roundsWith int
 	masked     int // rounds skipped because the target was offline
 	streak     int
@@ -141,53 +163,78 @@ type targetState struct {
 	sent       bool // per-round scratch
 }
 
+// estReady reports whether both conditional means exist yet, caching
+// their reciprocals for estimateAt.
+func (t *targetState) estReady() bool {
+	if t.nWith == 0 || t.nWithout == 0 {
+		return false
+	}
+	t.iw, t.iwo = 1/float64(t.nWith), 1/float64(t.nWithout)
+	return true
+}
+
+// estimateAt evaluates the target's recipient estimate at coordinate i:
+// the clamped difference of conditional egress means, the exact float
+// expression the dense estimator computed per entry. Coordinates
+// outside sumWith's support evaluate to exactly 0 (the difference is
+// ≤ 0 there and clamps).
+func (t *targetState) estimateAt(i int32) float64 {
+	v := t.sumWith.get(i)*t.iw - t.sumWithout.get(i)*t.iwo
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
 // disclosure is one running attack: per-target estimators plus shared
-// scratch, sized once so the round loop allocates nothing.
+// scratch, sized once so the round loop allocates nothing in steady
+// state (estimator inserts stop once each target's observed support
+// saturates).
 type disclosure struct {
 	eng       *Engine
 	cfg       DisclosureConfig
+	nrcpt     int
 	targets   []targetState
 	targetIdx []int32 // user -> target index, -1 if not a target
-	est       []float64
 	topIdx    []int32
 	topVal    []float64
 	setScr    []int32
 }
 
-// newDisclosure validates cfg and sizes the estimators.
+// newDisclosure validates cfg and sizes the estimators. It materializes
+// the target users (the adversary knows who it is watching); everyone
+// else stays cold until they send.
 func newDisclosure(e *Engine, cfg DisclosureConfig) (*disclosure, error) {
 	d := &disclosure{
 		eng:       e,
 		cfg:       cfg,
+		nrcpt:     e.nrcpt,
 		targets:   make([]targetState, len(cfg.Targets)),
-		targetIdx: make([]int32, len(e.users)),
-		est:       make([]float64, e.nrcpt),
+		targetIdx: make([]int32, e.n),
 	}
 	for i := range d.targetIdx {
 		d.targetIdx[i] = -1
 	}
 	maxK := 0
 	for i, u := range cfg.Targets {
-		if u < 0 || u >= len(e.users) {
+		if u < 0 || u >= e.n {
 			return nil, fmt.Errorf("population: target user %d out of range", u)
 		}
 		if d.targetIdx[u] >= 0 {
 			return nil, fmt.Errorf("population: duplicate target user %d", u)
 		}
 		d.targetIdx[u] = int32(i)
-		cs := e.users[u].Profile.Contacts()
+		cs := e.ContactsOf(u)
 		sort.Slice(cs, func(a, b int) bool { return cs[a] < cs[b] })
 		if len(cs) > maxK {
 			maxK = len(cs)
 		}
 		d.targets[i] = targetState{
-			user:       int32(u),
-			contacts:   cs,
-			sumWith:    make([]float64, e.nrcpt),
-			sumWithout: make([]float64, e.nrcpt),
+			user:     int32(u),
+			contacts: cs,
 		}
 		if cfg.ChurnAware {
-			d.targets[i].presence = e.users[u].Presence
+			d.targets[i].presence = e.PresenceOf(u)
 		}
 	}
 	d.topIdx = make([]int32, maxK)
@@ -199,7 +246,7 @@ func newDisclosure(e *Engine, cfg DisclosureConfig) (*disclosure, error) {
 // observe folds one round into every target's estimator. A churn-aware
 // estimator skips rounds in which the target was offline at the flush
 // instant (the round's last arrival) — see DisclosureConfig.ChurnAware.
-// Allocation-free.
+// Allocation-free once the estimators' supports saturate.
 func (d *disclosure) observe(r *Round) {
 	for i := range d.targets {
 		d.targets[i].sent = false
@@ -215,9 +262,9 @@ func (d *disclosure) observe(r *Round) {
 	}
 	for i := range d.targets {
 		t := &d.targets[i]
-		dst := t.sumWithout
+		dst := &t.sumWithout
 		if t.sent {
-			dst = t.sumWith
+			dst = &t.sumWith
 			t.nWith++
 			t.roundsWith++
 		} else {
@@ -228,27 +275,9 @@ func (d *disclosure) observe(r *Round) {
 			t.nWithout++
 		}
 		for _, rc := range r.Rcpts {
-			dst[rc]++
+			dst.add(rc, 1)
 		}
 	}
-}
-
-// estimate writes target t's current recipient estimate into d.est:
-// the clamped difference of conditional egress means. It reports false
-// when either conditional mean is still empty.
-func (d *disclosure) estimate(t *targetState) bool {
-	if t.nWith == 0 || t.nWithout == 0 {
-		return false
-	}
-	iw, iwo := 1/float64(t.nWith), 1/float64(t.nWithout)
-	for i := range d.est {
-		v := t.sumWith[i]*iw - t.sumWithout[i]*iwo
-		if v < 0 {
-			v = 0
-		}
-		d.est[i] = v
-	}
-	return true
 }
 
 // checkpoint tests every undisclosed target's estimate against its true
@@ -261,12 +290,12 @@ func (d *disclosure) checkpoint(round int) (allDone bool) {
 		if t.disclosed {
 			continue
 		}
-		if !d.estimate(t) {
+		if !t.estReady() {
 			allDone = false
 			continue
 		}
 		k := len(t.contacts)
-		top := d.topK(k)
+		top := d.topK(t, k)
 		if setsEqual(top, t.contacts, d.setScr) {
 			t.streak++
 		} else {
@@ -283,10 +312,32 @@ func (d *disclosure) checkpoint(round int) (allDone bool) {
 }
 
 // topK selects the indices of the k largest estimate entries (ties break
-// toward the lower recipient index) into the reusable scratch.
-func (d *disclosure) topK(k int) []int32 {
+// toward the lower recipient index) into the reusable scratch. The
+// selection runs the same ascending-index insertion pass the dense
+// estimator did, but only over the candidates that can win: every
+// positive estimate lies inside sumWith's support, and when fewer than
+// k positives exist the remaining winners are the lowest-index zero
+// coordinates, which always lie inside [0, k) (at most k−1 of the first
+// k coordinates can be positive then). Iterating the ascending merge of
+// [0, k) and the support therefore visits a superset of the dense
+// winners in the same order, so the selected set is identical.
+func (d *disclosure) topK(t *targetState, k int) []int32 {
 	idx, val := d.topIdx[:0], d.topVal[:0]
-	for i, v := range d.est {
+	sup := t.sumWith.idx
+	next, si := int32(0), 0
+	for int(next) < k || si < len(sup) {
+		var i int32
+		if int(next) < k && (si >= len(sup) || next <= sup[si]) {
+			i = next
+			if si < len(sup) && sup[si] == next {
+				si++
+			}
+			next++
+		} else {
+			i = sup[si]
+			si++
+		}
+		v := t.estimateAt(i)
 		// Find the insertion point among the current k best.
 		if len(idx) == k && v <= val[k-1] {
 			continue
@@ -302,7 +353,7 @@ func (d *disclosure) topK(k int) []int32 {
 			idx[j], val[j] = idx[j-1], val[j-1]
 			j--
 		}
-		idx[j], val[j] = int32(i), v
+		idx[j], val[j] = i, v
 	}
 	d.topIdx, d.topVal = idx, val
 	return idx
@@ -330,26 +381,30 @@ func setsEqual(a, b, scr []int32) bool {
 }
 
 // anonymity returns the normalized entropy of the target's final
-// estimate; 1 when the adversary has no estimate at all.
+// estimate; 1 when the adversary has no estimate at all. Every positive
+// estimate coordinate lies inside sumWith's support, and zero
+// coordinates add exactly 0 to the total and nothing to the entropy, so
+// the ascending sweep of the support reproduces the dense sweep's
+// floats term for term.
 func (d *disclosure) anonymity(t *targetState) float64 {
-	if !d.estimate(t) {
+	if !t.estReady() {
 		return 1
 	}
 	var total float64
-	for _, v := range d.est {
-		total += v
+	for _, i := range t.sumWith.idx {
+		total += t.estimateAt(i)
 	}
 	if total <= 0 {
 		return 1
 	}
 	var h float64
-	for _, v := range d.est {
-		if v > 0 {
+	for _, i := range t.sumWith.idx {
+		if v := t.estimateAt(i); v > 0 {
 			p := v / total
 			h -= p * math.Log(p)
 		}
 	}
-	return h / math.Log(float64(len(d.est)))
+	return h / math.Log(float64(d.nrcpt))
 }
 
 // DisclosureRun is a statistical-disclosure attack in progress: the same
@@ -369,7 +424,7 @@ type DisclosureRun struct {
 // resumable disclosure run. The run consumes the engine; build a fresh
 // engine per run.
 func (e *Engine) StartDisclosure(cfg DisclosureConfig) (*DisclosureRun, error) {
-	cfg = cfg.withDefaults(len(e.users))
+	cfg = cfg.withDefaults(e.n)
 	if cfg.Batch < 1 || cfg.MaxRounds < 1 || cfg.CheckEvery < 1 || cfg.Consecutive < 1 {
 		return nil, errors.New("population: disclosure parameters must be positive")
 	}

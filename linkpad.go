@@ -16,11 +16,16 @@
 // Three layers are exposed:
 //
 //   - System / Config: declaratively describe a deployment and run
-//     simulated attacks against it — batch i.i.d.-window attacks
-//     (RunAttack) or continuous-stream sessions with anytime detection
-//     (NewSession, RunAttackSession) — predict detection rates with the
-//     paper's closed-form theorems (TheoreticalDetectionRate), and solve
-//     the design problem of choosing σ_T (DesignVIT, CalibrateVIT).
+//     simulated attacks against it through the unified scenario API
+//     (System.Build a Spec into a Scenario, Scenario.Run under shared
+//     RunOptions) — the replica-window attack (AttackSetSpec), the
+//     continuous-stream session attack (SessionAttackSpec), statistical
+//     disclosure (DisclosureSpec), flow correlation against populations
+//     and cascades (FlowCorrelationSpec, CascadeCorrelationSpec), and
+//     the active watermark attack (ActiveDetectionSpec) — predict
+//     detection rates with the paper's closed-form theorems
+//     (TheoreticalDetectionRate), and solve the design problem of
+//     choosing σ_T (DesignVIT, CalibrateVIT).
 //   - Features and theorems: the analytic detection-rate formulas are
 //     re-exported (DetectionRateMean/Variance/Entropy, SampleSize*).
 //   - Experiments: RunExperiment regenerates every figure of the paper's
@@ -85,6 +90,44 @@ const (
 	PayloadPoisson = core.PayloadPoisson
 	PayloadCBR     = core.PayloadCBR
 	PayloadOnOff   = core.PayloadOnOff
+)
+
+// Unified scenario API (see internal/core): every observation protocol
+// is reachable through one shape. System.Build validates a Spec into a
+// runnable Scenario; Scenario.Run executes it under the shared
+// RunOptions (worker width, master seed, observation-budget scale,
+// telemetry probe, checkpoint resume) and returns the ScenarioResult
+// union. The per-protocol System.Run* methods remain as deprecated
+// wrappers over this path.
+type (
+	// Spec describes one scenario: a protocol plus its parameters. The
+	// six spec types below are the complete (sealed) set.
+	Spec = core.Spec
+	// Scenario is a validated, system-bound attack ready to run.
+	Scenario = core.Scenario
+	// RunOptions are the execution knobs shared by every scenario.
+	RunOptions = core.RunOptions
+	// ScenarioResult is the outcome union of one scenario run: exactly
+	// one field is non-nil, matching the spec the scenario was built
+	// from.
+	ScenarioResult = core.Result
+	// AttackSetSpec is the replica-window attack for one or more feature
+	// statistics.
+	AttackSetSpec = core.AttackSetSpec
+	// SessionAttackSpec is the continuous-stream attack with anytime
+	// decisions.
+	SessionAttackSpec = core.SessionAttackSpec
+	// DisclosureSpec is the round-based statistical disclosure attack
+	// against a user population.
+	DisclosureSpec = core.DisclosureSpec
+	// FlowCorrelationSpec is the per-flow correlation attack against a
+	// user population.
+	FlowCorrelationSpec = core.FlowCorrelationSpec
+	// CascadeCorrelationSpec is the end-to-end correlation attack
+	// against a multi-hop cascade.
+	CascadeCorrelationSpec = core.CascadeCorrelationSpec
+	// ActiveDetectionSpec is the active watermark attack.
+	ActiveDetectionSpec = core.ActiveDetectionSpec
 )
 
 // NewSystem validates cfg and returns a System.
@@ -156,6 +199,10 @@ type (
 	// DisclosureResult reports rounds-to-disclosure and the targets'
 	// residual degree of anonymity.
 	DisclosureResult = population.DisclosureResult
+	// DisclosureState is a serializable mid-run disclosure checkpoint
+	// (DisclosureRun.Snapshot), resumable through RunOptions.Resume or
+	// PopulationEngine.ResumeDisclosure.
+	DisclosureState = population.DisclosureState
 	// FlowCorrConfig parameterizes the per-flow correlation attack.
 	FlowCorrConfig = core.FlowCorrConfig
 	// FlowCorrResult reports the flow-matching accuracy, class accuracy

@@ -1,6 +1,7 @@
 package linkpad_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,15 +15,22 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.RunAttack(linkpad.AttackConfig{
-		Feature:      linkpad.FeatureEntropy,
-		WindowSize:   500,
-		TrainWindows: 80,
-		EvalWindows:  80,
+	sc, err := sys.Build(linkpad.AttackSetSpec{
+		Attack: linkpad.AttackConfig{
+			WindowSize:   500,
+			TrainWindows: 80,
+			EvalWindows:  80,
+		},
+		Features: []linkpad.Feature{linkpad.FeatureEntropy},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	out, err := sc.Run(context.Background(), linkpad.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.AttackSet[0]
 	if res.DetectionRate < 0.9 {
 		t.Errorf("detection = %v, want > 0.9", res.DetectionRate)
 	}
