@@ -69,7 +69,7 @@ docs:
 # After an *intentional* table change, run `make golden` and commit.
 GOLDEN_SCALE = 0.05
 GOLDEN_SEED = 3
-GOLDEN_EXPS = fig4b ext-online ext-disclosure ext-cascade ext-active
+GOLDEN_EXPS = fig4b ext-online ext-disclosure ext-cascade ext-active ext-sda-arms-race
 
 golden:
 	@for e in $(GOLDEN_EXPS); do \
@@ -122,11 +122,18 @@ scale-smoke:
 		-timeout 10m -max-rss-mb 512 -o $$tmp/w4 || { rm -rf $$tmp; exit 1; }; \
 	diff $$tmp/w1/scale-disclosure.txt $$tmp/w4/scale-disclosure.txt || { rm -rf $$tmp; \
 		echo "scale-disclosure tables differ across -workers"; exit 1; }; \
+	$$tmp/linkpadsim -exp scale-sda-ls -scale 0.1 -seed 3 -workers 1 \
+		-timeout 10m -max-rss-mb 512 -o $$tmp/w1 || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/linkpadsim -exp scale-sda-ls -scale 0.1 -seed 3 -workers 4 \
+		-timeout 10m -max-rss-mb 512 -o $$tmp/w4 || { rm -rf $$tmp; exit 1; }; \
+	diff $$tmp/w1/scale-sda-ls.txt $$tmp/w4/scale-sda-ls.txt || { rm -rf $$tmp; \
+		echo "scale-sda-ls tables differ across -workers"; exit 1; }; \
 	rm -rf $$tmp; echo "scale-smoke: 1e5-user tables byte-identical at -workers 1 and 4"
 
 # The full million-user design point, with the measured peak RSS printed.
 scale:
 	$(GO) run ./cmd/linkpadsim -exp scale-disclosure -scale 1 -seed 3 -max-rss-mb 2048
+	$(GO) run ./cmd/linkpadsim -exp scale-sda-ls -scale 1 -seed 3 -max-rss-mb 2048
 
 # Everything the CI workflow runs, reproducible locally in one command.
 ci: vet build test race staticcheck docs golden-check resume-check scale-smoke

@@ -103,6 +103,11 @@ const (
 	// user's flow (per-flow observations only; the round-based engine has
 	// no packet-level ingress tap).
 	popRoleTap
+	// popRoleMix seeds the pool mix's retention stream for disclosure
+	// runs over this population. The mix is population-global, not
+	// per-user, so the role is read at user index 0 (class 0) — a slot no
+	// other element occupies, since user 0's own roles stop at popRoleTap.
+	popRoleMix
 )
 
 // windowStreamID derives the stream replica ID for trial window w of the

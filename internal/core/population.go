@@ -58,6 +58,15 @@ type PopulationSpec struct {
 	// and its padded link goes dark (flow observations). Nil means a
 	// static population.
 	Churn *ChurnSpec
+	// Dummies selects the population's dummy policy for disclosure runs:
+	// how users address their cover messages (population.DummyNone keeps
+	// them uniform, DummyUniform demands uniform receiver-bound cover
+	// explicitly, DummyAdaptive re-addresses targets' cover to the
+	// estimator's current top suspects). Uniform and adaptive require
+	// cover traffic (CoverRate or CoverToPPS). The per-flow protocols
+	// ignore the policy — dummies only matter where recipients are
+	// observed.
+	Dummies population.DummyPolicy
 }
 
 // ChurnSpec describes population churn: users alternate between online
@@ -116,6 +125,16 @@ func (s *System) validatePopulation(spec PopulationSpec) error {
 	}
 	if err := spec.Churn.Validate(); err != nil {
 		return err
+	}
+	switch spec.Dummies {
+	case population.DummyNone:
+	case population.DummyUniform, population.DummyAdaptive:
+		if spec.CoverRate <= 0 && spec.CoverToPPS <= 0 {
+			return fmt.Errorf("core: the %s dummy policy requires cover traffic (CoverRate or CoverToPPS)",
+				spec.Dummies)
+		}
+	default:
+		return fmt.Errorf("core: unknown dummy policy %d", int(spec.Dummies))
 	}
 	return s.validateClassMix(spec.ClassMix)
 }

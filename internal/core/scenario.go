@@ -59,11 +59,16 @@ type SessionAttackSpec struct {
 }
 
 // DisclosureSpec is the round-based statistical disclosure attack
-// against a user population behind a threshold mix.
+// against a user population behind a batching mix (threshold, pool or
+// timed — Disclosure.Mix), with a pluggable estimator
+// (Disclosure.Estimator) against the population's dummy policy
+// (Population.Dummies).
 type DisclosureSpec struct {
-	// Population describes the sender population.
+	// Population describes the sender population, including its dummy
+	// policy.
 	Population PopulationSpec
-	// Disclosure carries the attack knobs (batch, targets, budget).
+	// Disclosure carries the attack knobs (batch, mix, estimator,
+	// targets, budget).
 	Disclosure population.DisclosureConfig
 }
 
@@ -184,6 +189,14 @@ func (s *System) Build(spec Spec) (Scenario, error) {
 	case DisclosureSpec:
 		if err := s.validatePopulation(sp.Population.withDefaults()); err != nil {
 			return nil, err
+		}
+		if err := sp.Disclosure.Validate(sp.Population.Users); err != nil {
+			return nil, err
+		}
+		// The dummy policy lives on the population (the senders act it
+		// out); a conflicting copy on the attack config is a spec bug.
+		if sp.Disclosure.Dummies != population.DummyNone && sp.Disclosure.Dummies != sp.Population.Dummies {
+			return nil, errors.New("core: set the dummy policy on PopulationSpec.Dummies; the DisclosureConfig copy disagrees")
 		}
 	case FlowCorrelationSpec:
 		if err := s.validatePopulation(sp.Population.withDefaults()); err != nil {
@@ -336,7 +349,17 @@ func (sc *scenario) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 // loop at CheckEvery granularity is result-invariant: DisclosureRun.Step
 // folds rounds and tests checkpoints identically under any step split.
 func (sc *scenario) runDisclosure(ctx context.Context, sys *System, sp DisclosureSpec, opts RunOptions) (*population.DisclosureResult, error) {
-	cfg := sp.Disclosure.WithDefaults(sp.Population.Users)
+	cfg := sp.Disclosure
+	// The population owns the dummy policy (Build enforced agreement).
+	cfg.Dummies = sp.Population.Dummies
+	// Seed the pool mix's retention stream from the system's master seed
+	// (its own role in the population domain) before defaults would pin
+	// the package-level fallback, so retention draws vary with the seed
+	// like every other stream. An explicit MixSpec.Seed wins.
+	if cfg.Mix.Kind == population.MixPool && cfg.Mix.Seed == 0 {
+		cfg.Mix.Seed = sys.streamSeed(0, populationStreamID(0, popRoleMix))
+	}
+	cfg = cfg.WithDefaults(sp.Population.Users)
 	cfg.Workers = pickWorkers(cfg.Workers, opts)
 	// The budget floor keeps at least one estimator checkpoint in range.
 	cfg.MaxRounds = scaleCount(cfg.MaxRounds, opts.Scale, cfg.CheckEvery)

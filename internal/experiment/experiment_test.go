@@ -56,9 +56,9 @@ func TestRegistry(t *testing.T) {
 		"ablation-training", "ablation-watermark-defenses",
 		"ablation-windowing", "baseline-policies", "ext-active",
 		"ext-cascade", "ext-disclosure", "ext-features", "ext-impairments",
-		"ext-online", "ext-sizes", "fig4a", "fig4b", "fig5a", "fig5b",
-		"fig6", "fig8a", "fig8b", "multirate", "scale-disclosure",
-		"validate-exactnet"}
+		"ext-online", "ext-sda-arms-race", "ext-sizes", "fig4a", "fig4b",
+		"fig5a", "fig5b", "fig6", "fig8a", "fig8b", "multirate",
+		"scale-disclosure", "scale-sda-ls", "validate-exactnet"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %v, want %v", names, want)
 	}

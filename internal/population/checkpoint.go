@@ -183,28 +183,90 @@ func (s *SparseCounts) validate(what string, nrcpt int) error {
 	return nil
 }
 
+// LSEstimatorState is the least-squares estimator's accumulators in a
+// disclosure snapshot: the three scalar regressor moments and the two
+// sparse right-hand sides.
+type LSEstimatorState struct {
+	Saa float64      `json:"saa"`
+	Sab float64      `json:"sab"`
+	Sbb float64      `json:"sbb"`
+	Say SparseCounts `json:"say"`
+	Sby SparseCounts `json:"sby"`
+}
+
+// MLGroupState is one (a, n) group of the ML estimator's sufficient
+// statistics: c observed rounds in which the target sent a of the n
+// messages, with their summed egress counts.
+type MLGroupState struct {
+	A int32        `json:"a"`
+	N int32        `json:"n"`
+	C float64      `json:"c"`
+	Y SparseCounts `json:"y"`
+}
+
+// MLEstimatorState is the ML estimator's grouped sufficient statistics
+// in a disclosure snapshot, ascending by (a, n). The EM estimate itself
+// is never serialized — it is recomputed from the groups on resume,
+// which is what keeps a resumed run byte-identical.
+type MLEstimatorState struct {
+	Groups []MLGroupState `json:"groups,omitempty"`
+}
+
+// MixPolicyState is a mix policy's mutable state in a disclosure
+// snapshot. The threshold mix has none; the pool mix carries its pooled
+// events and retention stream; the timed mix carries its grid cursor
+// and one-event lookahead. Fields of the other policies must be absent
+// — restore rejects a state that mixes them.
+type MixPolicyState struct {
+	// Pool holds the pool mix's retained events in arrival order.
+	Pool []EventState `json:"pool,omitempty"`
+	// RNG is the pool mix's retention stream state.
+	RNG *xrand.State `json:"rng,omitempty"`
+	// NextFlush is the timed mix's next grid boundary (0 = unstarted).
+	NextFlush float64 `json:"next_flush,omitempty"`
+	// Peeked is the timed mix's one-event lookahead, if one is held.
+	Peeked *EventState `json:"peeked,omitempty"`
+}
+
 // TargetEstimatorState is one target's estimator accumulators in a
-// disclosure snapshot.
+// disclosure snapshot. SumWith/SumWithout/NWith/NWithout carry the
+// classic estimator (and NWith/NWithout the round counts of the
+// others); LS and ML carry the respective variants' extra accumulators
+// and are absent otherwise.
 type TargetEstimatorState struct {
-	User       int32        `json:"user"`
-	SumWith    SparseCounts `json:"sum_with"`
-	SumWithout SparseCounts `json:"sum_without"`
-	NWith      int          `json:"n_with"`
-	NWithout   int          `json:"n_without"`
-	RoundsWith int          `json:"rounds_with"`
-	Masked     int          `json:"masked,omitempty"`
-	Streak     int          `json:"streak,omitempty"`
-	Disclosed  bool         `json:"disclosed,omitempty"`
-	Rounds     int          `json:"rounds,omitempty"`
+	User       int32             `json:"user"`
+	SumWith    SparseCounts      `json:"sum_with"`
+	SumWithout SparseCounts      `json:"sum_without"`
+	NWith      int               `json:"n_with"`
+	NWithout   int               `json:"n_without"`
+	LS         *LSEstimatorState `json:"ls,omitempty"`
+	ML         *MLEstimatorState `json:"ml,omitempty"`
+	RoundsWith int               `json:"rounds_with"`
+	Masked     int               `json:"masked,omitempty"`
+	Streak     int               `json:"streak,omitempty"`
+	Disclosed  bool              `json:"disclosed,omitempty"`
+	Rounds     int               `json:"rounds,omitempty"`
+	// Dummies is the adaptive dummy policy's rotation cursor.
+	Dummies int `json:"dummies,omitempty"`
 }
 
 // DisclosureState is a serializable snapshot of a disclosure run in
-// progress: the engine state plus every target's estimator.
+// progress: the engine state, the mix policy's state, and every
+// target's estimator. Mix/Estimator/Dummies pin the configuration the
+// snapshot was taken under — ResumeDisclosure rejects a resuming config
+// that differs, rather than silently mixing accumulators from one
+// attack into another. All three are absent for the default
+// threshold/classic/none run, so pre-arms-race snapshots decode to
+// exactly the configuration they were taken under.
 type DisclosureState struct {
-	Observed int                    `json:"observed"`
-	Done     bool                   `json:"done,omitempty"`
-	Engine   EngineState            `json:"engine"`
-	Targets  []TargetEstimatorState `json:"targets"`
+	Observed  int                    `json:"observed"`
+	Done      bool                   `json:"done,omitempty"`
+	Mix       *MixSpec               `json:"mix,omitempty"`
+	Estimator EstimatorKind          `json:"estimator,omitempty"`
+	Dummies   DummyPolicy            `json:"dummies,omitempty"`
+	MixState  *MixPolicyState        `json:"mix_state,omitempty"`
+	Engine    EngineState            `json:"engine"`
+	Targets   []TargetEstimatorState `json:"targets"`
 }
 
 // Snapshot captures the run's full mutable state; the run keeps going.
@@ -213,38 +275,40 @@ func (run *DisclosureRun) Snapshot() (*DisclosureState, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg := &run.d.cfg
 	st := &DisclosureState{
-		Observed: run.observed,
-		Done:     run.done,
-		Engine:   *eng,
-		Targets:  make([]TargetEstimatorState, len(run.d.targets)),
+		Observed:  run.observed,
+		Done:      run.done,
+		Estimator: cfg.Estimator,
+		Dummies:   cfg.Dummies,
+		MixState:  run.d.mix.snapshot(),
+		Engine:    *eng,
+		Targets:   make([]TargetEstimatorState, len(run.d.targets)),
+	}
+	if cfg.Mix.Kind != MixThreshold {
+		mix := cfg.Mix // defaults-applied by StartDisclosure
+		st.Mix = &mix
 	}
 	for i := range run.d.targets {
 		t := &run.d.targets[i]
-		st.Targets[i] = TargetEstimatorState{
-			User: t.user,
-			SumWith: SparseCounts{
-				Idx: append([]int32(nil), t.sumWith.idx...),
-				Val: append([]float64(nil), t.sumWith.val...),
-			},
-			SumWithout: SparseCounts{
-				Idx: append([]int32(nil), t.sumWithout.idx...),
-				Val: append([]float64(nil), t.sumWithout.val...),
-			},
-			NWith:      t.nWith,
-			NWithout:   t.nWithout,
-			RoundsWith: t.roundsWith,
-			Masked:     t.masked,
-			Streak:     t.streak,
-			Disclosed:  t.disclosed,
-			Rounds:     t.rounds,
-		}
+		ts := &st.Targets[i]
+		ts.User = t.user
+		t.est.snapshot(ts)
+		ts.RoundsWith = t.roundsWith
+		ts.Masked = t.masked
+		ts.Streak = t.streak
+		ts.Disclosed = t.disclosed
+		ts.Rounds = t.rounds
+		ts.Dummies = t.dumCount
 	}
 	return st, nil
 }
 
 // ResumeDisclosure continues a snapshotted disclosure run on a freshly
 // built engine of the identical population, under the identical config.
+// The snapshot records the mix/estimator/dummy configuration it was
+// taken under, and a resuming config that disagrees is rejected with a
+// clear error — the accumulators of one attack mean nothing to another.
 // Stepping the resumed run to completion yields byte-identical results
 // to the uninterrupted run.
 func (e *Engine) ResumeDisclosure(cfg DisclosureConfig, st *DisclosureState) (*DisclosureRun, error) {
@@ -255,11 +319,36 @@ func (e *Engine) ResumeDisclosure(cfg DisclosureConfig, st *DisclosureState) (*D
 	if err != nil {
 		return nil, err
 	}
+	rcfg := &run.d.cfg // defaults-applied
+	var snapMix MixSpec
+	if st.Mix != nil {
+		snapMix = *st.Mix
+	}
+	snapMix = snapMix.withDefaults()
+	if snapMix.Kind != rcfg.Mix.Kind {
+		return nil, fmt.Errorf("population: snapshot was taken under a %s mix, config selects %s",
+			snapMix.Kind, rcfg.Mix.Kind)
+	}
+	if snapMix != rcfg.Mix {
+		return nil, fmt.Errorf("population: snapshot %s mix parameters %+v differ from the resuming config's %+v",
+			snapMix.Kind, snapMix, rcfg.Mix)
+	}
+	if st.Estimator != rcfg.Estimator {
+		return nil, fmt.Errorf("population: snapshot was taken with the %s estimator, config selects %s",
+			st.Estimator, rcfg.Estimator)
+	}
+	if st.Dummies != rcfg.Dummies {
+		return nil, fmt.Errorf("population: snapshot was taken under the %s dummy policy, config selects %s",
+			st.Dummies, rcfg.Dummies)
+	}
 	if len(st.Targets) != len(run.d.targets) {
 		return nil, fmt.Errorf("population: snapshot has %d targets, config selects %d",
 			len(st.Targets), len(run.d.targets))
 	}
 	if err := e.Restore(&st.Engine); err != nil {
+		return nil, err
+	}
+	if err := run.d.mix.restore(st.MixState); err != nil {
 		return nil, err
 	}
 	for i := range run.d.targets {
@@ -269,21 +358,15 @@ func (e *Engine) ResumeDisclosure(cfg DisclosureConfig, st *DisclosureState) (*D
 			return nil, fmt.Errorf("population: snapshot target %d is user %d, config selects user %d",
 				i, ts.User, t.user)
 		}
-		if err := ts.SumWith.validate(fmt.Sprintf("target %d sum_with", i), e.nrcpt); err != nil {
+		if err := t.est.restore(ts, e.nrcpt); err != nil {
 			return nil, err
 		}
-		if err := ts.SumWithout.validate(fmt.Sprintf("target %d sum_without", i), e.nrcpt); err != nil {
-			return nil, err
-		}
-		t.sumWith.setPairs(ts.SumWith.Idx, ts.SumWith.Val)
-		t.sumWithout.setPairs(ts.SumWithout.Idx, ts.SumWithout.Val)
-		t.nWith = ts.NWith
-		t.nWithout = ts.NWithout
 		t.roundsWith = ts.RoundsWith
 		t.masked = ts.Masked
 		t.streak = ts.Streak
 		t.disclosed = ts.Disclosed
 		t.rounds = ts.Rounds
+		t.dumCount = ts.Dummies
 	}
 	run.observed = st.Observed
 	run.done = st.Done

@@ -205,12 +205,16 @@ type shard struct {
 // time, in arrival order. Dummy is ground truth the adversary does not
 // see; the attacks never read it. Times is observable metadata (the
 // mix's flush clock) that churn-aware estimators use to check a target's
-// presence. A Round's slices are reused across NextRound calls.
+// presence. Flush is the instant the mix flushed the round: the last
+// arrival for a threshold mix, the triggering arrival for a pool mix,
+// the window boundary for a timed mix. A Round's slices are reused
+// across NextRound calls.
 type Round struct {
 	Users []int32
 	Rcpts []int32
 	Dummy []bool
 	Times []float64
+	Flush float64
 }
 
 // Engine is a running multi-user simulation: per-user event streams
@@ -722,6 +726,7 @@ func (e *Engine) NextRound(batch int, r *Round) error {
 		r.Rcpts = append(r.Rcpts, ev.rcpt)
 		r.Dummy = append(r.Dummy, ev.dummy)
 		r.Times = append(r.Times, ev.t)
+		r.Flush = ev.t
 	}
 	e.rounds++
 	e.probe.Inc(obs.PopulationRound)

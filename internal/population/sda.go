@@ -12,30 +12,48 @@ import (
 
 // Statistical disclosure (sda.go): the round-based intersection attack.
 // The adversary watches the batch mix for many rounds; for a target user
-// it contrasts the mean egress recipient vector of rounds in which the
-// target sent against the mean of rounds in which it did not. The
-// difference estimates the target's recipient distribution — the
-// background contributed by everyone else cancels — and disclosure is
-// declared when the estimate's top contacts match the target's true
-// contact set stably. Cover traffic resists the attack twice over: the
-// target's observable sends carry less and less real signal, and
-// everyone else's dummies brighten the background noise.
+// it estimates the target's recipient distribution from the per-round
+// ingress/egress contrast, and disclosure is declared when the
+// estimate's top contacts match the target's true contact set stably.
+// Cover traffic resists the attack twice over: the target's observable
+// sends carry less and less real signal, and everyone else's dummies
+// brighten the background noise.
+//
+// This file is the attack harness; the arms race's three axes live
+// beside it:
+//
+//   - estimator.go: the estimator variants (classic round-contrast,
+//     least-squares, iterative ML) behind one interface;
+//   - mix.go: the round-forming mix policies (threshold, pool, timed);
+//   - dummy.go: the dummy policies resisting the attack (none, uniform
+//     receiver-bound, adaptive suspect-targeting).
 //
 // The estimators are sparse (sparse.go): each target accumulates only
 // the recipients actually delivered in its observed rounds, never a
 // dense length-R vector, so estimator memory scales with observed
 // support rather than with the recipient space. Every quantity the
-// attack reports — the difference-of-means estimate, the top-k contact
-// test, the entropy — is computed from the sparse accumulators
-// bit-identically to the dense formulation (absent coordinates are
-// exactly zero, and zero coordinates are exact no-ops in every sum);
-// sda_ref_test.go checks this against a dense reference implementation.
+// attack reports — the estimate, the top-k contact test, the entropy —
+// is computed from the sparse accumulators bit-identically to the dense
+// formulation (absent coordinates are exactly zero, and zero
+// coordinates are exact no-ops in every sum); sda_ref_test.go checks
+// this against dense reference implementations.
 
 // DisclosureConfig parameterizes one statistical-disclosure run.
 type DisclosureConfig struct {
-	// Batch is the mix's flush threshold B (messages per round);
-	// 0 selects the default 8.
+	// Batch is the mix's flush threshold B (messages per round, or the
+	// pool mix's flush trigger); 0 selects the default 8.
 	Batch int
+	// Mix selects the round-forming policy; the zero value is the
+	// threshold mix, the engine's original behavior.
+	Mix MixSpec
+	// Estimator selects the disclosure estimator; the zero value is the
+	// classic round-contrast SDA.
+	Estimator EstimatorKind
+	// Dummies selects the population's dummy policy — how the targets'
+	// cover messages are addressed. The zero value (DummyNone) leaves
+	// cover traffic, if any, on uniformly random recipients. The core
+	// scenario layer copies PopulationSpec.Dummies here.
+	Dummies DummyPolicy
 	// Targets are the user IDs whose recipient sets the adversary tries
 	// to disclose; empty selects 8 users evenly spread over the
 	// population (covering every rate class under the striped class
@@ -95,6 +113,7 @@ func (c DisclosureConfig) withDefaults(users int) DisclosureConfig {
 	if c.Consecutive == 0 {
 		c.Consecutive = 2
 	}
+	c.Mix = c.Mix.withDefaults()
 	if len(c.Targets) == 0 {
 		n := 8
 		if n > users {
@@ -106,6 +125,40 @@ func (c DisclosureConfig) withDefaults(users int) DisclosureConfig {
 		}
 	}
 	return c
+}
+
+// Validate checks the configuration's shape for a users-sized population
+// without an engine — the scenario layer's Build-time validation. It
+// never panics, whatever the field values. StartDisclosure re-checks
+// everything it needs against the live engine.
+func (c DisclosureConfig) Validate(users int) error {
+	c = c.withDefaults(users)
+	if c.Batch < 1 || c.MaxRounds < 1 || c.CheckEvery < 1 || c.Consecutive < 1 {
+		return errors.New("population: disclosure parameters must be positive")
+	}
+	if c.Workers < 0 {
+		return errors.New("population: disclosure workers must be non-negative")
+	}
+	if !validEstimator(c.Estimator) {
+		return fmt.Errorf("population: unknown estimator kind %d", int(c.Estimator))
+	}
+	if !validDummyPolicy(c.Dummies) {
+		return fmt.Errorf("population: unknown dummy policy %d", int(c.Dummies))
+	}
+	if err := c.Mix.validate(); err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(c.Targets))
+	for _, u := range c.Targets {
+		if u < 0 || u >= users {
+			return fmt.Errorf("population: target user %d out of range", u)
+		}
+		if seen[u] {
+			return fmt.Errorf("population: duplicate target user %d", u)
+		}
+		seen[u] = true
+	}
+	return nil
 }
 
 // TargetOutcome reports the attack against one target user.
@@ -143,47 +196,24 @@ type DisclosureResult struct {
 	MeanAnonymity float64
 }
 
-// targetState is the adversary's running estimator for one target. The
-// conditional-mean accumulators are sparse: coordinates appear as the
-// corresponding recipients are first delivered in an observed round.
+// targetState is the adversary's running bookkeeping for one target: the
+// pluggable estimator plus the disclosure-test and dummy-policy state
+// shared by every estimator kind.
 type targetState struct {
 	user       int32
 	contacts   []int32 // sorted ascending, the set to identify
 	presence   *traffic.OnOffSchedule
-	sumWith    sparseVec
-	sumWithout sparseVec
-	nWith      int
-	nWithout   int
-	iw, iwo    float64 // 1/nWith, 1/nWithout, refreshed by estReady
+	est        estimator
 	roundsWith int
 	masked     int // rounds skipped because the target was offline
 	streak     int
 	disclosed  bool
 	rounds     int
+	dumCount   int     // adaptive dummies re-addressed so far (rotation cursor)
+	sus        []int32 // adaptive-dummy suspect scratch, refreshed per round
+	susFresh   bool
 	sent       bool // per-round scratch
-}
-
-// estReady reports whether both conditional means exist yet, caching
-// their reciprocals for estimateAt.
-func (t *targetState) estReady() bool {
-	if t.nWith == 0 || t.nWithout == 0 {
-		return false
-	}
-	t.iw, t.iwo = 1/float64(t.nWith), 1/float64(t.nWithout)
-	return true
-}
-
-// estimateAt evaluates the target's recipient estimate at coordinate i:
-// the clamped difference of conditional egress means, the exact float
-// expression the dense estimator computed per entry. Coordinates
-// outside sumWith's support evaluate to exactly 0 (the difference is
-// ≤ 0 there and clamps).
-func (t *targetState) estimateAt(i int32) float64 {
-	v := t.sumWith.get(i)*t.iw - t.sumWithout.get(i)*t.iwo
-	if v < 0 {
-		v = 0
-	}
-	return v
+	cnt        int  // per-round scratch: the target's send count
 }
 
 // disclosure is one running attack: per-target estimators plus shared
@@ -192,6 +222,7 @@ func (t *targetState) estimateAt(i int32) float64 {
 // saturates).
 type disclosure struct {
 	eng       *Engine
+	mix       MixPolicy
 	cfg       DisclosureConfig
 	nrcpt     int
 	targets   []targetState
@@ -199,6 +230,7 @@ type disclosure struct {
 	topIdx    []int32
 	topVal    []float64
 	setScr    []int32
+	susVal    []float64 // suspect-selection scratch (adaptive dummies)
 }
 
 // newDisclosure validates cfg and sizes the estimators. It materializes
@@ -232,51 +264,46 @@ func newDisclosure(e *Engine, cfg DisclosureConfig) (*disclosure, error) {
 		d.targets[i] = targetState{
 			user:     int32(u),
 			contacts: cs,
+			est:      newEstimator(cfg.Estimator),
 		}
 		if cfg.ChurnAware {
 			d.targets[i].presence = e.PresenceOf(u)
+		}
+		if cfg.Dummies == DummyAdaptive {
+			d.targets[i].sus = make([]int32, 0, len(cs))
 		}
 	}
 	d.topIdx = make([]int32, maxK)
 	d.topVal = make([]float64, maxK)
 	d.setScr = make([]int32, maxK)
+	d.susVal = make([]float64, maxK)
 	return d, nil
 }
 
 // observe folds one round into every target's estimator. A churn-aware
-// estimator skips rounds in which the target was offline at the flush
-// instant (the round's last arrival) — see DisclosureConfig.ChurnAware.
-// Allocation-free once the estimators' supports saturate.
+// run skips rounds in which the target was offline at the flush instant
+// — see DisclosureConfig.ChurnAware. Allocation-free once the
+// estimators' supports saturate.
 func (d *disclosure) observe(r *Round) {
 	for i := range d.targets {
 		d.targets[i].sent = false
+		d.targets[i].cnt = 0
 	}
 	for _, u := range r.Users {
 		if ti := d.targetIdx[u]; ti >= 0 {
 			d.targets[ti].sent = true
+			d.targets[ti].cnt++
 		}
-	}
-	var flushT float64
-	if len(r.Times) > 0 {
-		flushT = r.Times[len(r.Times)-1]
 	}
 	for i := range d.targets {
 		t := &d.targets[i]
-		dst := &t.sumWithout
 		if t.sent {
-			dst = &t.sumWith
-			t.nWith++
 			t.roundsWith++
-		} else {
-			if t.presence != nil && !t.presence.UpAt(flushT) {
-				t.masked++
-				continue
-			}
-			t.nWithout++
+		} else if t.presence != nil && !t.presence.UpAt(r.Flush) {
+			t.masked++
+			continue
 		}
-		for _, rc := range r.Rcpts {
-			dst.add(rc, 1)
-		}
+		t.est.observe(r, t.sent, t.cnt)
 	}
 }
 
@@ -290,7 +317,7 @@ func (d *disclosure) checkpoint(round int) (allDone bool) {
 		if t.disclosed {
 			continue
 		}
-		if !t.estReady() {
+		if !t.est.ready() {
 			allDone = false
 			continue
 		}
@@ -314,16 +341,17 @@ func (d *disclosure) checkpoint(round int) (allDone bool) {
 // topK selects the indices of the k largest estimate entries (ties break
 // toward the lower recipient index) into the reusable scratch. The
 // selection runs the same ascending-index insertion pass the dense
-// estimator did, but only over the candidates that can win: every
-// positive estimate lies inside sumWith's support, and when fewer than
-// k positives exist the remaining winners are the lowest-index zero
-// coordinates, which always lie inside [0, k) (at most k−1 of the first
-// k coordinates can be positive then). Iterating the ascending merge of
-// [0, k) and the support therefore visits a superset of the dense
-// winners in the same order, so the selected set is identical.
+// estimator did, but only over the candidates that can win: by the
+// estimator contract every positive estimate lies inside support(), and
+// when fewer than k positives exist the remaining winners are the
+// lowest-index zero coordinates, which always lie inside [0, k) (at
+// most k−1 of the first k coordinates can be positive then). Iterating
+// the ascending merge of [0, k) and the support therefore visits a
+// superset of the dense winners in the same order, so the selected set
+// is identical.
 func (d *disclosure) topK(t *targetState, k int) []int32 {
 	idx, val := d.topIdx[:0], d.topVal[:0]
-	sup := t.sumWith.idx
+	sup := t.est.support()
 	next, si := int32(0), 0
 	for int(next) < k || si < len(sup) {
 		var i int32
@@ -337,7 +365,7 @@ func (d *disclosure) topK(t *targetState, k int) []int32 {
 			i = sup[si]
 			si++
 		}
-		v := t.estimateAt(i)
+		v := t.est.estimateAt(i)
 		// Find the insertion point among the current k best.
 		if len(idx) == k && v <= val[k-1] {
 			continue
@@ -381,25 +409,25 @@ func setsEqual(a, b, scr []int32) bool {
 }
 
 // anonymity returns the normalized entropy of the target's final
-// estimate; 1 when the adversary has no estimate at all. Every positive
-// estimate coordinate lies inside sumWith's support, and zero
-// coordinates add exactly 0 to the total and nothing to the entropy, so
-// the ascending sweep of the support reproduces the dense sweep's
-// floats term for term.
+// estimate; 1 when the adversary has no estimate at all. By the
+// estimator contract every positive estimate coordinate lies inside
+// support(), and zero coordinates add exactly 0 to the total and
+// nothing to the entropy, so the ascending sweep of the support
+// reproduces the dense sweep's floats term for term.
 func (d *disclosure) anonymity(t *targetState) float64 {
-	if !t.estReady() {
+	if !t.est.ready() {
 		return 1
 	}
 	var total float64
-	for _, i := range t.sumWith.idx {
-		total += t.estimateAt(i)
+	for _, i := range t.est.support() {
+		total += t.est.estimateAt(i)
 	}
 	if total <= 0 {
 		return 1
 	}
 	var h float64
-	for _, i := range t.sumWith.idx {
-		if v := t.estimateAt(i); v > 0 {
+	for _, i := range t.est.support() {
+		if v := t.est.estimateAt(i); v > 0 {
 			p := v / total
 			h -= p * math.Log(p)
 		}
@@ -428,8 +456,18 @@ func (e *Engine) StartDisclosure(cfg DisclosureConfig) (*DisclosureRun, error) {
 	if cfg.Batch < 1 || cfg.MaxRounds < 1 || cfg.CheckEvery < 1 || cfg.Consecutive < 1 {
 		return nil, errors.New("population: disclosure parameters must be positive")
 	}
+	if !validEstimator(cfg.Estimator) {
+		return nil, fmt.Errorf("population: unknown estimator kind %d", int(cfg.Estimator))
+	}
+	if !validDummyPolicy(cfg.Dummies) {
+		return nil, fmt.Errorf("population: unknown dummy policy %d", int(cfg.Dummies))
+	}
 	e.SetWorkers(par.Workers(cfg.Workers))
 	d, err := newDisclosure(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.mix, err = e.NewMix(cfg.Mix, cfg.Batch)
 	if err != nil {
 		return nil, err
 	}
@@ -438,14 +476,17 @@ func (e *Engine) StartDisclosure(cfg DisclosureConfig) (*DisclosureRun, error) {
 
 // Step observes up to n more rounds, stopping early when every target is
 // disclosed or the round budget is exhausted. It reports whether the run
-// is finished.
+// is finished. Each round passes through the dummy policy (dummy.go)
+// between the mix flush and the estimators' observation — the defenders
+// act on the round before the adversary reads it.
 func (run *DisclosureRun) Step(n int) (bool, error) {
 	cfg := &run.d.cfg
 	for i := 0; i < n && !run.done && run.observed < cfg.MaxRounds; i++ {
 		round := run.observed + 1
-		if err := run.d.eng.NextRound(cfg.Batch, &run.r); err != nil {
+		if err := run.d.mix.NextRound(&run.r); err != nil {
 			return false, err
 		}
+		run.d.applyDummies(&run.r)
 		run.d.observe(&run.r)
 		run.observed = round
 		if round%cfg.CheckEvery == 0 && run.d.checkpoint(round) {

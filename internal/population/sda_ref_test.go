@@ -349,10 +349,10 @@ func TestSparseMatchesDenseReference(t *testing.T) {
 					t.Fatal(err)
 				}
 				for i := range run.d.targets {
-					tg := &run.d.targets[i]
-					if tg.sumWith.nnz() >= tc.recipients {
+					est := run.d.targets[i].est.(*classicEstimator)
+					if est.sumWith.nnz() >= tc.recipients {
 						t.Fatalf("target %d sum_with support %d saturated the %d-recipient space",
-							i, tg.sumWith.nnz(), tc.recipients)
+							i, est.sumWith.nnz(), tc.recipients)
 					}
 				}
 			}

@@ -194,8 +194,21 @@ type (
 	// PopulationEngine is the running multi-user simulation
 	// (System.NewPopulation) emitting threshold-mix rounds.
 	PopulationEngine = population.Engine
-	// DisclosureConfig parameterizes the statistical disclosure attack.
+	// DisclosureConfig parameterizes the statistical disclosure attack:
+	// batch, mix policy, estimator, targets, budget.
 	DisclosureConfig = population.DisclosureConfig
+	// MixPolicySpec configures the disclosure run's round-forming mix
+	// policy (DisclosureConfig.Mix): threshold, pool or timed.
+	MixPolicySpec = population.MixSpec
+	// MixPolicyKind selects the mix's batching discipline.
+	MixPolicyKind = population.MixKind
+	// EstimatorKind selects the disclosure estimator (classic
+	// round-contrast, least-squares, or iterative ML).
+	EstimatorKind = population.EstimatorKind
+	// DummyPolicy selects how the population addresses its cover
+	// messages (PopulationSpec.Dummies): none, uniform receiver-bound,
+	// or adaptive suspect-targeting.
+	DummyPolicy = population.DummyPolicy
 	// DisclosureResult reports rounds-to-disclosure and the targets'
 	// residual degree of anonymity.
 	DisclosureResult = population.DisclosureResult
@@ -208,6 +221,23 @@ type (
 	// FlowCorrResult reports the flow-matching accuracy, class accuracy
 	// and throughput-fingerprint strength.
 	FlowCorrResult = population.FlowCorrResult
+)
+
+// The SDA arms race's three axes (DisclosureConfig.Mix/.Estimator and
+// PopulationSpec.Dummies). Zero values reproduce the original attack:
+// threshold mix, classic estimator, no dummy policy.
+const (
+	MixThreshold = population.MixThreshold
+	MixPool      = population.MixPool
+	MixTimed     = population.MixTimed
+
+	EstimatorClassic      = population.EstimatorClassic
+	EstimatorLeastSquares = population.EstimatorLeastSquares
+	EstimatorML           = population.EstimatorML
+
+	DummyNone     = population.DummyNone
+	DummyUniform  = population.DummyUniform
+	DummyAdaptive = population.DummyAdaptive
 )
 
 // Multi-hop cascades (see internal/cascade): a route of K padded hops —
